@@ -1,0 +1,216 @@
+// Command dbbench is a db_bench-style wall-clock benchmark against the
+// real store: it measures this Go implementation on the local machine
+// (unlike cmd/experiments, which regenerates the paper's numbers through
+// the calibrated models).
+//
+// Usage:
+//
+//	dbbench [-db DIR] [-benchmarks fillseq,fillrandom,overwrite,readrandom,readseq,deleterandom]
+//	        [-num 100000] [-value_size 128] [-key_size 16] [-backend cpu|fcae]
+//	        [-engine_n 9] [-engine_v 8] [-compression_ratio 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fcae"
+	"fcae/internal/workload"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (default: a temp dir)")
+	benches := flag.String("benchmarks", "fillseq,fillrandom,overwrite,readrandom,readseq,seekrandom,readwhilewriting", "comma-separated benchmark list")
+	num := flag.Int("num", 100000, "operations per benchmark")
+	valueSize := flag.Int("value_size", 128, "value length in bytes")
+	keySize := flag.Int("key_size", 16, "key length in bytes")
+	backend := flag.String("backend", "cpu", "compaction backend: cpu or fcae")
+	engineN := flag.Int("engine_n", 9, "FCAE decoder lanes")
+	engineV := flag.Int("engine_v", 8, "FCAE value lane width")
+	ratio := flag.Float64("compression_ratio", 0.5, "value compressibility")
+	flag.Parse()
+
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "fcae-dbbench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+
+	opts := fcae.Options{}
+	if *backend == "fcae" {
+		cfg := fcae.MultiInputEngineConfig()
+		cfg.N = *engineN
+		cfg.V = *engineV
+		exec, err := fcae.NewEngineExecutor(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Executor = exec
+	}
+	db, err := fcae.Open(*dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("fcae dbbench: dir=%s backend=%s num=%d key=%dB value=%dB\n",
+		*dir, *backend, *num, *keySize, *valueSize)
+
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := runBench(db, name, *num, *keySize, *valueSize, *ratio); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	st := db.Stats()
+	fmt.Printf("\nstats: flushes=%d compactions=%d (hw=%d swFallback=%d trivial=%d)\n",
+		st.Flushes, st.Compactions, st.HWCompactions, st.SWFallbacks, st.TrivialMoves)
+	fmt.Printf("compaction bytes: read=%d written=%d; modeled kernel=%s pcie=%s; stalls=%s\n",
+		st.CompactionRead, st.CompactionWrite, st.KernelTime, st.TransferTime, st.StallTime)
+	levels := db.LevelFiles()
+	fmt.Printf("level files: %v\n", levels)
+}
+
+func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float64) error {
+	keys := workload.NewKeyGen(keySize)
+	values := workload.NewValueGen(valueSize, ratio, 42)
+
+	var seq workload.Sequence
+	write := true
+	switch name {
+	case "fillseq":
+		seq = &workload.Sequential{}
+	case "fillrandom", "overwrite":
+		seq = workload.NewUniform(uint64(num), 4711)
+	case "readrandom":
+		seq, write = workload.NewUniform(uint64(num), 1213), false
+	case "readseq":
+		seq, write = &workload.Sequential{}, false
+	case "deleterandom":
+		seq = workload.NewUniform(uint64(num), 99)
+	case "seekrandom":
+		return runSeekRandom(db, num, keySize)
+	case "readwhilewriting":
+		return runReadWhileWriting(db, num, keySize, valueSize, ratio)
+	default:
+		return fmt.Errorf("unknown benchmark %q", name)
+	}
+
+	start := time.Now()
+	found := 0
+	for i := 0; i < num; i++ {
+		k := keys.Key(seq.Next())
+		switch {
+		case name == "deleterandom":
+			if err := db.Delete(k); err != nil {
+				return err
+			}
+		case write:
+			if err := db.Put(k, values.Value()); err != nil {
+				return err
+			}
+		default:
+			if _, err := db.Get(k); err == nil {
+				found++
+			} else if err != fcae.ErrNotFound {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	opsPerSec := float64(num) / elapsed.Seconds()
+	mb := float64(num*(keySize+valueSize)) / 1e6
+	extra := ""
+	if !write {
+		extra = fmt.Sprintf(" (found %d)", found)
+	}
+	fmt.Printf("%-12s : %10.3f micros/op; %8.1f ops/sec; %7.1f MB/s%s\n",
+		name, float64(elapsed.Microseconds())/float64(num), opsPerSec, mb/elapsed.Seconds(), extra)
+	return nil
+}
+
+// runSeekRandom measures iterator seek + short scan latency.
+func runSeekRandom(db *fcae.DB, num, keySize int) error {
+	keys := workload.NewKeyGen(keySize)
+	seq := workload.NewUniform(uint64(num), 77)
+	start := time.Now()
+	entries := 0
+	for i := 0; i < num/10; i++ { // seeks are pricier; 10% of the op count
+		it, err := db.NewIterator()
+		if err != nil {
+			return err
+		}
+		for ok, n := it.Seek(keys.Key(seq.Next())), 0; ok && n < 10; ok, n = it.Next(), n+1 {
+			entries++
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%-12s : %10.3f micros/op; %8.1f seeks/sec (%d entries)\n",
+		"seekrandom", float64(elapsed.Microseconds())/float64(num/10),
+		float64(num/10)/elapsed.Seconds(), entries)
+	return nil
+}
+
+// runReadWhileWriting measures read latency with one writer running, the
+// contention scenario the paper's offload targets.
+func runReadWhileWriting(db *fcae.DB, num, keySize, valueSize int, ratio float64) error {
+	keys := workload.NewKeyGen(keySize)
+	values := workload.NewValueGen(valueSize, ratio, 5)
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	go func() {
+		wkeys := workload.NewKeyGen(keySize)
+		wseq := workload.NewUniform(uint64(num), 31)
+		for {
+			select {
+			case <-stop:
+				writerErr <- nil
+				return
+			default:
+			}
+			if err := db.Put(wkeys.Key(wseq.Next()), values.Value()); err != nil {
+				writerErr <- err
+				return
+			}
+		}
+	}()
+	seq := workload.NewUniform(uint64(num), 13)
+	start := time.Now()
+	found := 0
+	for i := 0; i < num; i++ {
+		if _, err := db.Get(keys.Key(seq.Next())); err == nil {
+			found++
+		} else if err != fcae.ErrNotFound {
+			close(stop)
+			<-writerErr
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	if err := <-writerErr; err != nil {
+		return err
+	}
+	fmt.Printf("%-12s : %10.3f micros/op; %8.1f reads/sec (found %d)\n",
+		"readwhilewriting", float64(elapsed.Microseconds())/float64(num),
+		float64(num)/elapsed.Seconds(), found)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's tables and figures and
+// prints them in the paper's layout.
+//
+// Usage:
+//
+//	experiments [-run all|tableV|fig9|tableVI|fig10|fig11|tableVII|fig12|fig13|fig14|tableVIII|fig15|fig16|ablation]
+//	            [-scale 1.0] [-maxgb 1024]
+//
+// -scale shrinks data sizes for quick runs (0.1 completes in seconds);
+// -maxgb bounds the Fig 14 / Table VIII sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fcae/internal/bench"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to regenerate (comma separated), or 'all'")
+	scale := flag.Float64("scale", 1.0, "data-size scale factor (1.0 = paper sizes)")
+	maxGB := flag.Float64("maxgb", 1024, "largest Fig 14 data size in GB")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	sc := bench.Scale(*scale)
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToLower(*run), ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+
+	emit := func(reports ...*bench.Report) {
+		for _, r := range reports {
+			if r == nil {
+				continue
+			}
+			if all || want[strings.ToLower(r.ID)] {
+				if *format == "csv" {
+					fmt.Print(r.CSV())
+				} else {
+					fmt.Println(r.String())
+				}
+			}
+		}
+	}
+
+	need := func(ids ...string) bool {
+		if all {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	if need("tablev", "fig9") {
+		tv, f9 := bench.TableV(sc)
+		emit(tv, f9)
+	}
+	if need("tablevi", "fig11") {
+		tv, f11 := bench.TableVI(sc)
+		emit(tv, f11)
+	}
+	if need("fig10") {
+		emit(bench.Fig10(sc))
+	}
+	if need("tablevii") {
+		emit(bench.TableVII())
+	}
+	if need("fig12", "fig13") {
+		f12, f13 := bench.Fig12And13(sc)
+		emit(f12, f13)
+	}
+	if need("fig14", "tableviii") {
+		f14, t8 := bench.Fig14(sc, *maxGB)
+		emit(f14, t8)
+	}
+	if need("fig15") {
+		emit(bench.Fig15(sc))
+	}
+	if need("fig16") {
+		emit(bench.Fig16(sc))
+	}
+	if need("ablation") {
+		emit(bench.Ablations(sc), bench.ScheduleAblation(sc))
+	}
+	if need("nearstorage") {
+		emit(bench.NearStorage(sc))
+	}
+	if need("stageutil") {
+		emit(bench.StageUtilization(sc, bench.DefaultEngineConfig()))
+	}
+	if need("tiered") {
+		emit(bench.TieredSim(sc))
+	}
+	if !all && len(want) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected; see -run")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,156 @@
+// Command ycsb runs YCSB-style workloads (paper Table IX: Load, A-F)
+// against the real store on the local machine.
+//
+// Usage:
+//
+//	ycsb [-db DIR] [-workloads load,a,b,c,d,e,f] [-records 100000]
+//	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fcae"
+	"fcae/internal/workload"
+)
+
+type spec struct {
+	name                            string
+	read, update, insert, scan, rmw float64
+	latest                          bool
+}
+
+var specs = map[string]spec{
+	"load": {name: "Load", insert: 1},
+	"a":    {name: "A", read: 0.5, update: 0.5},
+	"b":    {name: "B", read: 0.95, update: 0.05},
+	"c":    {name: "C", read: 1},
+	"d":    {name: "D", read: 0.95, insert: 0.05, latest: true},
+	"e":    {name: "E", scan: 0.95, insert: 0.05},
+	"f":    {name: "F", read: 0.5, rmw: 0.5},
+}
+
+const scanLength = 50
+
+func main() {
+	dir := flag.String("db", "", "database directory (default: a temp dir)")
+	workloads := flag.String("workloads", "load,a,b,c,d,e,f", "comma-separated workload list")
+	records := flag.Int("records", 100000, "records loaded before the mixed workloads")
+	ops := flag.Int("ops", 100000, "operations per workload")
+	valueSize := flag.Int("value_size", 1024, "value length in bytes")
+	backend := flag.String("backend", "cpu", "compaction backend: cpu or fcae")
+	flag.Parse()
+
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "fcae-ycsb-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+	opts := fcae.Options{}
+	if *backend == "fcae" {
+		opts.Executor = fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())
+	}
+	db, err := fcae.Open(*dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("fcae ycsb: backend=%s records=%d ops=%d value=%dB\n", *backend, *records, *ops, *valueSize)
+	inserted := uint64(0)
+	for _, name := range strings.Split(strings.ToLower(*workloads), ",") {
+		name = strings.TrimSpace(name)
+		sp, ok := specs[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", name))
+		}
+		n := *ops
+		if name == "load" {
+			n = *records
+		}
+		if err := run(db, sp, n, *records, *valueSize, &inserted); err != nil {
+			fatal(fmt.Errorf("workload %s: %w", sp.name, err))
+		}
+	}
+}
+
+func run(db *fcae.DB, sp spec, n, records, valueSize int, inserted *uint64) error {
+	keys := workload.NewKeyGen(16)
+	values := workload.NewValueGen(valueSize, 0.5, 7)
+	mix := workload.NewMix(sp.read, sp.update, sp.insert, sp.scan, sp.rmw, 17)
+	var pick workload.Sequence
+	latest := workload.NewLatest(uint64(records), 23)
+	if sp.latest {
+		pick = latest
+	} else {
+		pick = workload.NewZipfian(uint64(records), 29)
+	}
+
+	start := time.Now()
+	var reads, writes, scans, notFound int
+	for i := 0; i < n; i++ {
+		op := mix.Next()
+		if sp.name == "Load" {
+			op = workload.OpInsert
+		}
+		switch op {
+		case workload.OpRead:
+			if _, err := db.Get(keys.Key(pick.Next())); err == fcae.ErrNotFound {
+				notFound++
+			} else if err != nil {
+				return err
+			}
+			reads++
+		case workload.OpUpdate:
+			if err := db.Put(keys.Key(pick.Next()), values.Value()); err != nil {
+				return err
+			}
+			writes++
+		case workload.OpInsert:
+			id := *inserted
+			*inserted++
+			latest.Observe(id)
+			if err := db.Put(keys.Key(id), values.Value()); err != nil {
+				return err
+			}
+			writes++
+		case workload.OpScan:
+			it, err := db.NewIterator()
+			if err != nil {
+				return err
+			}
+			for ok, c := it.Seek(keys.Key(pick.Next())), 0; ok && c < scanLength; ok, c = it.Next(), c+1 {
+			}
+			if err := it.Close(); err != nil {
+				return err
+			}
+			scans++
+		case workload.OpRMW:
+			k := append([]byte(nil), keys.Key(pick.Next())...)
+			if _, err := db.Get(k); err != nil && err != fcae.ErrNotFound {
+				return err
+			}
+			if err := db.Put(k, values.Value()); err != nil {
+				return err
+			}
+			reads++
+			writes++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%-5s: %9.1f ops/sec (%d reads, %d writes, %d scans, %d not-found) in %s\n",
+		sp.name, float64(n)/elapsed.Seconds(), reads, writes, scans, notFound, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ycsb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package fcae_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fcae"
+)
+
+// Example shows the minimal open/put/get cycle.
+func Example() {
+	dir, _ := os.MkdirTemp("", "fcae-example-")
+	defer os.RemoveAll(dir)
+
+	db, err := fcae.Open(dir, fcae.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("hello"), []byte("world"))
+	v, _ := db.Get([]byte("hello"))
+	fmt.Println(string(v))
+	// Output: world
+}
+
+// ExampleOpen_engine opens a store whose compactions run on the simulated
+// FCAE engine (the paper's 9-input configuration).
+func ExampleOpen_engine() {
+	dir, _ := os.MkdirTemp("", "fcae-example-")
+	defer os.RemoveAll(dir)
+
+	cfg := fcae.MultiInputEngineConfig()
+	db, err := fcae.Open(dir, fcae.Options{
+		Executor: fcae.MustNewEngineExecutor(cfg),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("engine lanes: %d, fits chip: %v\n", cfg.N, cfg.Fits())
+	// Output: engine lanes: 9, fits chip: true
+}
+
+// ExampleDB_NewIterator scans a key range in both directions.
+func ExampleDB_NewIterator() {
+	dir, _ := os.MkdirTemp("", "fcae-example-")
+	defer os.RemoveAll(dir)
+	db, _ := fcae.Open(dir, fcae.Options{})
+	defer db.Close()
+
+	for _, k := range []string{"b", "a", "c"} {
+		db.Put([]byte(k), []byte("v-"+k))
+	}
+	it, _ := db.NewIterator()
+	defer it.Close()
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Printf("%s ", it.Key())
+	}
+	for ok := it.Last(); ok; ok = it.Prev() {
+		fmt.Printf("%s ", it.Key())
+	}
+	fmt.Println()
+	// Output: a b c c b a
+}
+
+// ExampleBatch commits several writes atomically.
+func ExampleBatch() {
+	dir, _ := os.MkdirTemp("", "fcae-example-")
+	defer os.RemoveAll(dir)
+	db, _ := fcae.Open(dir, fcae.Options{})
+	defer db.Close()
+
+	var b fcae.Batch
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("y"), []byte("2"))
+	b.Delete([]byte("x"))
+	db.Write(&b)
+
+	_, errX := db.Get([]byte("x"))
+	y, _ := db.Get([]byte("y"))
+	fmt.Println(errX == fcae.ErrNotFound, string(y))
+	// Output: true 2
+}
+
+// ExampleEngineConfig_Resources estimates chip utilization for a
+// configuration, as in the paper's Table VII.
+func ExampleEngineConfig_Resources() {
+	cfg := fcae.MultiInputEngineConfig() // N=9, WIn=8, V=8
+	u := cfg.Resources()
+	fmt.Printf("BRAM %.0f%% FF %.0f%% LUT %.0f%%\n", u.BRAM, u.FF, u.LUT)
+	// Output: BRAM 25% FF 14% LUT 85%
+}

@@ -1,0 +1,70 @@
+// Quickstart: open a store, write, read, batch, snapshot and iterate
+// through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fcae"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "fcae-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The zero Options select the paper's defaults (Table IV) and the
+	// software compactor; see examples/writeheavy for the FCAE backend.
+	db, err := fcae.Open(dir, fcae.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Point writes and reads.
+	if err := db.Put([]byte("city:hongkong"), []byte("7.4M")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("city:hongkong"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city:hongkong = %s\n", v)
+
+	// Atomic batches.
+	var batch fcae.Batch
+	batch.Put([]byte("city:tokyo"), []byte("13.9M"))
+	batch.Put([]byte("city:london"), []byte("8.9M"))
+	batch.Delete([]byte("city:hongkong"))
+	if err := db.Write(&batch); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshots give a consistent view across later writes.
+	snap := db.NewSnapshot()
+	defer snap.Release()
+	if err := db.Put([]byte("city:tokyo"), []byte("14.0M")); err != nil {
+		log.Fatal(err)
+	}
+	old, _ := snap.Get([]byte("city:tokyo"))
+	cur, _ := db.Get([]byte("city:tokyo"))
+	fmt.Printf("tokyo: snapshot=%s current=%s\n", old, cur)
+
+	// Ordered iteration over user keys.
+	it, err := db.NewIterator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	fmt.Println("scan:")
+	for ok := it.Seek([]byte("city:")); ok; ok = it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if err := it.Error(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package fcae is an LSM-tree key-value store with an FPGA compaction
+// acceleration engine (FCAE), reproducing "FPGA-based Compaction Engine
+// for Accelerating LSM-tree Key-Value Stores" (Sun, Yu, Zhou, Xue — ICDE
+// 2020). The store is a from-scratch LevelDB-style database; the engine is
+// a functional simulator of the paper's KCU1500 pipeline that executes the
+// same merges the hardware would while accounting device cycles with the
+// paper's pipeline model.
+//
+// Quickstart:
+//
+//	db, err := fcae.Open(dir, fcae.Options{Executor: fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())})
+//	...
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+//
+// Omitting Executor selects the software (CPU) compactor, the paper's
+// baseline.
+package fcae
+
+import (
+	"fcae/internal/compaction"
+	"fcae/internal/core"
+	"fcae/internal/lsm"
+)
+
+// Re-exported database types. See the lsm package for method documentation.
+type (
+	// DB is the key-value store handle.
+	DB = lsm.DB
+	// Options configure Open; the zero value uses the paper's defaults
+	// (Table IV: 16-byte keys are a workload property; 4 KiB blocks,
+	// leveling ratio 10, 2 MiB tables).
+	Options = lsm.Options
+	// Batch is an atomic group of writes.
+	Batch = lsm.Batch
+	// Iterator walks user keys in ascending order at a fixed snapshot.
+	Iterator = lsm.Iterator
+	// Snapshot is a consistent read view.
+	Snapshot = lsm.Snapshot
+	// Stats aggregates operational counters, including the engine's
+	// modeled kernel and PCIe transfer time.
+	Stats = lsm.Stats
+)
+
+// Engine types for configuring the FCAE backend.
+type (
+	// EngineConfig describes one synthesized engine: decoder lanes N,
+	// value lane width V, AXI widths, clock, and the paper's pipeline
+	// optimizations (key-value separation, index/data separation).
+	EngineConfig = core.Config
+	// EngineUtilization is a chip resource estimate (paper Table VII).
+	EngineUtilization = core.Utilization
+	// CompactionExecutor executes merge jobs; implemented by the CPU
+	// reference executor and the FCAE engine executor.
+	CompactionExecutor = compaction.Executor
+)
+
+// Errors re-exported from the store.
+var (
+	// ErrNotFound is returned by Get when a key has no value.
+	ErrNotFound = lsm.ErrNotFound
+	// ErrClosed is returned after Close.
+	ErrClosed = lsm.ErrClosed
+)
+
+// Open opens (creating if necessary) a database in dir.
+func Open(dir string, opts Options) (*DB, error) { return lsm.Open(dir, opts) }
+
+// Repair rebuilds a database whose MANIFEST/CURRENT metadata is lost or
+// corrupt from its table files alone. Run it BEFORE Open: opening a
+// directory without metadata creates a fresh store and garbage-collects
+// the orphaned tables. See lsm.Repair for semantics and limitations.
+func Repair(dir string, opts Options) error { return lsm.Repair(dir, opts) }
+
+// DefaultEngineConfig returns the paper's 2-input engine (V=16, W=64),
+// which handles every level except L0 (paper §VII-B).
+func DefaultEngineConfig() EngineConfig { return core.DefaultConfig() }
+
+// MultiInputEngineConfig returns the 9-input engine of §VII-C (V=8, W_in=8
+// so the design fits the chip), which also covers L0 compactions.
+func MultiInputEngineConfig() EngineConfig { return core.MultiInputConfig() }
+
+// NewEngineExecutor returns a compaction executor backed by a simulated
+// FCAE engine with cfg. Pass it in Options.Executor; jobs whose fan-in
+// exceeds cfg.N fall back to software automatically (paper §VI-A).
+func NewEngineExecutor(cfg EngineConfig) (CompactionExecutor, error) {
+	return core.NewExecutor(cfg)
+}
+
+// MustNewEngineExecutor is NewEngineExecutor, panicking on an invalid
+// configuration. Intended for static configurations.
+func MustNewEngineExecutor(cfg EngineConfig) CompactionExecutor {
+	x, err := core.NewExecutor(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// CPUExecutor returns the software reference compactor (the paper's CPU
+// baseline). It is also the implicit default when Options.Executor is nil.
+func CPUExecutor() CompactionExecutor { return compaction.CPU{} }

@@ -1,0 +1,3 @@
+module fcae
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§VII). Each experiment returns a Report whose rows mirror
+// the paper's layout; cmd/experiments prints them and the top-level
+// benchmarks log them. Compaction-speed experiments run the real engine
+// simulator on synthetic SSTables; end-to-end experiments run the
+// virtual-clock store model (internal/lsmsim).
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string // e.g. "TableV", "Fig10"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated rows (header first), with the
+// report ID prefixed to every line so concatenated output stays parseable.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	write := func(cells []string) {
+		b.WriteString(r.ID)
+		for _, c := range cells {
+			b.WriteByte(',')
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	write(r.Header)
+	for _, row := range r.Rows {
+		write(row)
+	}
+	return b.String()
+}
+
+// Scale shrinks expensive experiments for quick runs: 1.0 is the paper's
+// scale, smaller values reduce data sizes proportionally.
+type Scale float64
+
+// Quick is a reduced scale suitable for CI and -short benchmarks.
+const Quick Scale = 0.1
+
+// Full runs the paper's sizes.
+const Full Scale = 1.0
+
+func (s Scale) bytes(n int64) int64 {
+	v := int64(float64(n) * float64(s))
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,110 @@
+// Package bloom implements the bloom filter policy used in SSTable filter
+// blocks, following LevelDB's double-hashing construction so the read path
+// can skip data blocks that cannot contain a key.
+package bloom
+
+// Filter builds and queries bloom filters with a fixed bits-per-key budget.
+type Filter struct {
+	bitsPerKey int
+	k          int // number of probes
+}
+
+// New returns a policy using about bitsPerKey bits per key. 10 bits/key
+// yields a ~1% false positive rate.
+func New(bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	// k = ln(2) * bits/key rounded, clamped to [1,30].
+	k := int(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	return Filter{bitsPerKey: bitsPerKey, k: k}
+}
+
+// Name identifies the policy in the table's meta block.
+func (f Filter) Name() string { return "fcae.BuiltinBloomFilter" }
+
+// hash is LevelDB's bloom hash (a Murmur-like mix).
+func hash(data []byte) uint32 {
+	const (
+		seed = 0xbc9f1d34
+		m    = 0xc6a4a793
+	)
+	h := uint32(seed) ^ uint32(len(data))*m
+	i := 0
+	for ; i+4 <= len(data); i += 4 {
+		w := uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16 | uint32(data[i+3])<<24
+		h += w
+		h *= m
+		h ^= h >> 16
+	}
+	switch len(data) - i {
+	case 3:
+		h += uint32(data[i+2]) << 16
+		fallthrough
+	case 2:
+		h += uint32(data[i+1]) << 8
+		fallthrough
+	case 1:
+		h += uint32(data[i])
+		h *= m
+		h ^= h >> 24
+	}
+	return h
+}
+
+// Append builds a filter over keys and appends it to dst, returning the
+// extended slice. The final byte records the probe count.
+func (f Filter) Append(dst []byte, keys [][]byte) []byte {
+	bits := len(keys) * f.bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+
+	start := len(dst)
+	dst = append(dst, make([]byte, nBytes+1)...)
+	array := dst[start : start+nBytes]
+	for _, key := range keys {
+		h := hash(key)
+		delta := h>>17 | h<<15
+		for j := 0; j < f.k; j++ {
+			pos := h % uint32(bits)
+			array[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	dst[start+nBytes] = byte(f.k)
+	return dst
+}
+
+// MayContain reports whether key may be in the set encoded in filter.
+// False positives are possible; false negatives are not.
+func (f Filter) MayContain(filter, key []byte) bool {
+	if len(filter) < 2 {
+		return false
+	}
+	nBytes := len(filter) - 1
+	bits := uint32(nBytes * 8)
+	k := int(filter[nBytes])
+	if k > 30 {
+		// Reserved for future encodings: treat as a match.
+		return true
+	}
+	h := hash(key)
+	delta := h>>17 | h<<15
+	for j := 0; j < k; j++ {
+		pos := h % bits
+		if filter[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

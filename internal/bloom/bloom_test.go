@@ -1,0 +1,119 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func key(i int) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(i))
+	return b[:]
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(10)
+	filter := f.Append(nil, nil)
+	if f.MayContain(filter, []byte("anything")) {
+		t.Fatal("empty filter should not match")
+	}
+	if f.MayContain(nil, []byte("x")) {
+		t.Fatal("nil filter data should not match")
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		f := New(10)
+		var ks [][]byte
+		for i := 0; i < n; i++ {
+			ks = append(ks, key(i))
+		}
+		filter := f.Append(nil, ks)
+		for i := 0; i < n; i++ {
+			if !f.MayContain(filter, key(i)) {
+				t.Fatalf("n=%d: false negative for key %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10)
+	const n = 10000
+	var ks [][]byte
+	for i := 0; i < n; i++ {
+		ks = append(ks, key(i))
+	}
+	filter := f.Append(nil, ks)
+	fp := 0
+	for i := 0; i < n; i++ {
+		if f.MayContain(filter, key(i+1000000000)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / n
+	// 10 bits/key targets ~1%; allow generous slack.
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestVaryingLengthKeys(t *testing.T) {
+	f := New(10)
+	var ks [][]byte
+	for i := 0; i < 200; i++ {
+		ks = append(ks, []byte(fmt.Sprintf("%0*d", 1+i%40, i)))
+	}
+	filter := f.Append(nil, ks)
+	for _, k := range ks {
+		if !f.MayContain(filter, k) {
+			t.Fatalf("false negative for %q", k)
+		}
+	}
+}
+
+func TestFilterSizeScalesWithBitsPerKey(t *testing.T) {
+	var ks [][]byte
+	for i := 0; i < 1000; i++ {
+		ks = append(ks, key(i))
+	}
+	small := New(5).Append(nil, ks)
+	large := New(20).Append(nil, ks)
+	if len(large) <= len(small) {
+		t.Fatalf("20 bits/key filter (%dB) not larger than 5 bits/key (%dB)", len(large), len(small))
+	}
+}
+
+func TestReservedProbeCountMatchesEverything(t *testing.T) {
+	f := New(10)
+	filter := []byte{0x00, 0x00, 31} // k=31 is reserved
+	if !f.MayContain(filter, []byte("whatever")) {
+		t.Fatal("reserved encodings must be treated as a match")
+	}
+}
+
+func BenchmarkAppend10K(b *testing.B) {
+	f := New(10)
+	var ks [][]byte
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, key(i))
+	}
+	for i := 0; i < b.N; i++ {
+		f.Append(nil, ks)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := New(10)
+	var ks [][]byte
+	for i := 0; i < 10000; i++ {
+		ks = append(ks, key(i))
+	}
+	filter := f.Append(nil, ks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(filter, key(i%20000))
+	}
+}

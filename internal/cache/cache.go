@@ -1,0 +1,161 @@
+// Package cache implements a sharded LRU cache, used as the store's block
+// cache. Entries are keyed by (file id, block offset) and charged by byte
+// size.
+package cache
+
+import "sync"
+
+const shardCount = 16
+
+// Key identifies a cached block.
+type Key struct {
+	ID     uint64 // table file number
+	Offset uint64 // block offset within the file
+}
+
+// Cache is a fixed-capacity sharded LRU. The zero value is unusable; call
+// New.
+type Cache struct {
+	shards [shardCount]shard
+}
+
+// New returns a cache bounded to capacity bytes in total.
+func New(capacity int64) *Cache {
+	c := &Cache{}
+	per := capacity / shardCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].table = make(map[Key]*entry)
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	h := k.ID*0x9e3779b97f4a7c15 + k.Offset
+	return &c.shards[(h>>32)%shardCount]
+}
+
+// Get returns the cached value for k, if present.
+func (c *Cache) Get(k Key) ([]byte, bool) { return c.shard(k).get(k) }
+
+// Set inserts v under k, evicting LRU entries to stay within capacity.
+func (c *Cache) Set(k Key, v []byte) { c.shard(k).set(k, v) }
+
+// EvictFile drops all entries belonging to file id.
+func (c *Cache) EvictFile(id uint64) {
+	for i := range c.shards {
+		c.shards[i].evictFile(id)
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].table)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Size returns the resident bytes.
+func (c *Cache) Size() int64 {
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].used
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+type entry struct {
+	key        Key
+	value      []byte
+	prev, next *entry
+}
+
+// shard is one LRU segment. The sentinel head's next is the most recently
+// used entry.
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	table    map[Key]*entry
+	head     entry // sentinel; head.next = MRU, head.prev = LRU
+	init     bool
+}
+
+func (s *shard) lazyInit() {
+	if !s.init {
+		s.head.next = &s.head
+		s.head.prev = &s.head
+		s.init = true
+	}
+}
+
+func (s *shard) get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lazyInit()
+	e, ok := s.table[k]
+	if !ok {
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.value, true
+}
+
+func (s *shard) set(k Key, v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lazyInit()
+	if e, ok := s.table[k]; ok {
+		s.used += int64(len(v)) - int64(len(e.value))
+		e.value = v
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e := &entry{key: k, value: v}
+		s.table[k] = e
+		s.pushFront(e)
+		s.used += int64(len(v))
+	}
+	for s.used > s.capacity && s.head.prev != &s.head {
+		s.evict(s.head.prev)
+	}
+}
+
+func (s *shard) evictFile(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lazyInit()
+	for k, e := range s.table {
+		if k.ID == id {
+			s.evict(e)
+		}
+	}
+}
+
+func (s *shard) evict(e *entry) {
+	s.unlink(e)
+	delete(s.table, e.key)
+	s.used -= int64(len(e.value))
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.prev.next = e
+	e.next.prev = e
+}

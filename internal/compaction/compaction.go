@@ -1,0 +1,386 @@
+// Package compaction defines the merge job abstraction shared by the
+// software compactor and the FCAE engine, plus the CPU reference executor.
+// A Job carries raw table inputs grouped into sorted runs (paper §IV step
+// 2: level-0 files each form a run, deeper levels concatenate into one),
+// and an Executor merges them into fresh output tables.
+package compaction
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fcae/internal/iter"
+	"fcae/internal/keys"
+	"fcae/internal/sstable"
+)
+
+// Table is one input SSTable's raw bytes.
+type Table struct {
+	Num  uint64
+	Size int64
+	Data io.ReaderAt
+}
+
+// Job describes one compaction to execute.
+type Job struct {
+	// Runs are the sorted input streams; tables within a run are disjoint
+	// and ordered by key.
+	Runs [][]Table
+	// SmallestSnapshot is the oldest live snapshot sequence; entries
+	// shadowed at or below it are dropped.
+	SmallestSnapshot uint64
+	// BottomLevel allows tombstones themselves to be dropped.
+	BottomLevel bool
+	// TableOpts configure the output tables.
+	TableOpts sstable.Options
+	// MaxOutputBytes caps each output table (paper: ~2 MB per SSTable).
+	MaxOutputBytes uint64
+}
+
+// NumRuns returns the number of sorted input streams (the paper's N).
+func (j *Job) NumRuns() int { return len(j.Runs) }
+
+// InputBytes returns the total input size.
+func (j *Job) InputBytes() int64 {
+	var n int64
+	for _, run := range j.Runs {
+		for _, t := range run {
+			n += t.Size
+		}
+	}
+	return n
+}
+
+// OutputTable describes one produced table.
+type OutputTable struct {
+	Num      uint64
+	Size     int64
+	Entries  int
+	Smallest []byte
+	Largest  []byte
+}
+
+// Stats summarizes an executed job.
+type Stats struct {
+	BytesRead    int64
+	BytesWritten int64
+	PairsIn      int
+	PairsOut     int
+	PairsDropped int
+	// KernelTime is the modeled merge time (device cycles for the FCAE
+	// executor, CPU model for the software executor); wall-clock callers
+	// measure real durations themselves.
+	KernelTime time.Duration
+	// TransferTime is the modeled PCIe transfer time (FCAE only).
+	TransferTime time.Duration
+}
+
+// Result is the outcome of a compaction.
+type Result struct {
+	Outputs []OutputTable
+	Stats   Stats
+}
+
+// Env supplies output file creation to executors.
+type Env interface {
+	// NewOutput allocates a file number and an output writer for one table.
+	NewOutput() (num uint64, w io.WriteCloser, err error)
+}
+
+// Executor merges a Job's runs into output tables.
+type Executor interface {
+	// Name identifies the executor in stats ("cpu" or "fcae").
+	Name() string
+	// MaxRuns returns the largest NumRuns the executor accepts, or 0 for
+	// unlimited. Jobs exceeding it must go to a fallback (paper Fig. 6:
+	// "#SSTable in L0 > N-1" routes to SW compaction).
+	MaxRuns() int
+	// Compact executes the job.
+	Compact(job *Job, env Env) (*Result, error)
+}
+
+// openRun builds one iterator over a run's tables, concatenated in order.
+func openRun(run []Table, opts sstable.Options) (iter.Iterator, error) {
+	readers := make([]*sstable.Reader, len(run))
+	for i, t := range run {
+		r, err := sstable.NewReader(t.Data, t.Size, opts, nil, t.Num)
+		if err != nil {
+			return nil, fmt.Errorf("compaction: open table %d: %w", t.Num, err)
+		}
+		readers[i] = r
+	}
+	return newConcatIter(readers), nil
+}
+
+// concatIter chains table iterators whose key ranges are disjoint and
+// ascending.
+type concatIter struct {
+	readers []*sstable.Reader
+	idx     int
+	cur     *sstable.Iterator
+	err     error
+}
+
+func newConcatIter(readers []*sstable.Reader) *concatIter {
+	return &concatIter{readers: readers, idx: -1}
+}
+
+func (c *concatIter) open(i int) {
+	c.idx = i
+	if i >= 0 && i < len(c.readers) {
+		c.cur = c.readers[i].NewIterator()
+	} else {
+		c.cur = nil
+	}
+}
+
+func (c *concatIter) Valid() bool { return c.err == nil && c.cur != nil && c.cur.Valid() }
+
+func (c *concatIter) SeekToFirst() {
+	c.open(0)
+	if c.cur != nil {
+		c.cur.SeekToFirst()
+		c.skipEmpty()
+	}
+}
+
+func (c *concatIter) SeekGE(target []byte) {
+	// Linear probe is fine: runs have few tables and compaction scans.
+	for i := range c.readers {
+		c.open(i)
+		c.cur.SeekGE(target)
+		if c.cur.Valid() {
+			return
+		}
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			return
+		}
+	}
+	c.cur = nil
+}
+
+func (c *concatIter) SeekToLast() {
+	c.open(len(c.readers) - 1)
+	if c.cur != nil {
+		c.cur.SeekToLast()
+		c.skipEmptyBackward()
+	}
+}
+
+func (c *concatIter) Next() {
+	if c.cur == nil {
+		return
+	}
+	c.cur.Next()
+	c.skipEmpty()
+}
+
+func (c *concatIter) Prev() {
+	if c.cur == nil {
+		return
+	}
+	c.cur.Prev()
+	c.skipEmptyBackward()
+}
+
+func (c *concatIter) skipEmptyBackward() {
+	for c.err == nil && c.cur != nil && !c.cur.Valid() {
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			return
+		}
+		if c.idx-1 < 0 {
+			c.cur = nil
+			return
+		}
+		c.open(c.idx - 1)
+		c.cur.SeekToLast()
+	}
+}
+
+func (c *concatIter) skipEmpty() {
+	for c.err == nil && c.cur != nil && !c.cur.Valid() {
+		if err := c.cur.Error(); err != nil {
+			c.err = err
+			return
+		}
+		if c.idx+1 >= len(c.readers) {
+			c.cur = nil
+			return
+		}
+		c.open(c.idx + 1)
+		c.cur.SeekToFirst()
+	}
+}
+
+func (c *concatIter) Key() []byte   { return c.cur.Key() }
+func (c *concatIter) Value() []byte { return c.cur.Value() }
+func (c *concatIter) Error() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.cur != nil {
+		return c.cur.Error()
+	}
+	return nil
+}
+
+// dropPolicy implements LevelDB's shadowing rules during a merge. Entries
+// arrive in internal-key order (user key ascending, seq descending).
+type dropPolicy struct {
+	smallestSnapshot uint64
+	bottomLevel      bool
+
+	curUser    []byte
+	hasCur     bool
+	hasPrev    bool   // a previous entry for curUser has been seen
+	lastSeqFor uint64 // sequence of the previous entry for curUser
+}
+
+// drop reports whether the entry (ikey) is garbage.
+func (d *dropPolicy) drop(ikey []byte) bool {
+	user := keys.UserKey(ikey)
+	seq, kind := keys.DecodeTrailer(ikey)
+	if !d.hasCur || keys.CompareUser(user, d.curUser) != 0 {
+		d.curUser = append(d.curUser[:0], user...)
+		d.hasCur = true
+		d.hasPrev = false
+	}
+	dropped := false
+	switch {
+	case d.hasPrev && d.lastSeqFor <= d.smallestSnapshot:
+		// A newer entry for this user key is already visible to the
+		// oldest snapshot: this one is shadowed.
+		dropped = true
+	case kind == keys.KindDelete && seq <= d.smallestSnapshot && d.bottomLevel:
+		// The tombstone itself is obsolete once nothing deeper exists.
+		dropped = true
+	}
+	d.hasPrev = true
+	d.lastSeqFor = seq
+	return dropped
+}
+
+// CPU is the software reference executor: a heap merge over run iterators
+// feeding an sstable writer, the paper's "CPU baseline" and the fallback
+// for jobs exceeding the engine's input limit.
+type CPU struct{}
+
+// Name implements Executor.
+func (CPU) Name() string { return "cpu" }
+
+// MaxRuns implements Executor: the software path takes any fan-in.
+func (CPU) MaxRuns() int { return 0 }
+
+// Compact implements Executor.
+func (CPU) Compact(job *Job, env Env) (*Result, error) {
+	its := make([]iter.Iterator, 0, len(job.Runs))
+	for _, run := range job.Runs {
+		it, err := openRun(run, job.TableOpts)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, it)
+	}
+	merged := iter.NewMerging(its...)
+	merged.SeekToFirst()
+
+	res := &Result{}
+	res.Stats.BytesRead = job.InputBytes()
+	drop := dropPolicy{smallestSnapshot: job.SmallestSnapshot, bottomLevel: job.BottomLevel}
+
+	var out *outputWriter
+	defer func() {
+		if out != nil {
+			out.abort()
+		}
+	}()
+
+	var lastUser []byte
+	for ; merged.Valid(); merged.Next() {
+		res.Stats.PairsIn++
+		ikey := merged.Key()
+		if drop.drop(ikey) {
+			res.Stats.PairsDropped++
+			continue
+		}
+		// Close a full output only at a user-key boundary so that no user
+		// key ever spans two tables in one level (that would break the
+		// one-file-per-level lookup invariant).
+		if out != nil && uint64(out.w.EstimatedSize()) >= job.MaxOutputBytes &&
+			keys.CompareUser(keys.UserKey(ikey), lastUser) != 0 {
+			ot, err := out.finish()
+			if err != nil {
+				return nil, err
+			}
+			res.Outputs = append(res.Outputs, ot)
+			res.Stats.BytesWritten += ot.Size
+			out = nil
+		}
+		if out == nil {
+			var err error
+			if out, err = newOutput(env, job.TableOpts); err != nil {
+				return nil, err
+			}
+		}
+		if err := out.add(ikey, merged.Value()); err != nil {
+			return nil, err
+		}
+		lastUser = append(lastUser[:0], keys.UserKey(ikey)...)
+		res.Stats.PairsOut++
+	}
+	if err := merged.Error(); err != nil {
+		return nil, err
+	}
+	if out != nil {
+		ot, err := out.finish()
+		if err != nil {
+			return nil, err
+		}
+		if ot.Entries > 0 {
+			res.Outputs = append(res.Outputs, ot)
+			res.Stats.BytesWritten += ot.Size
+		}
+		out = nil
+	}
+	return res, nil
+}
+
+// outputWriter pairs an sstable writer with its destination file.
+type outputWriter struct {
+	num uint64
+	f   io.WriteCloser
+	w   *sstable.Writer
+}
+
+func newOutput(env Env, opts sstable.Options) (*outputWriter, error) {
+	num, f, err := env.NewOutput()
+	if err != nil {
+		return nil, err
+	}
+	return &outputWriter{num: num, f: f, w: sstable.NewWriter(f, opts)}, nil
+}
+
+func (o *outputWriter) add(ikey, value []byte) error { return o.w.Add(ikey, value) }
+
+func (o *outputWriter) finish() (OutputTable, error) {
+	stats, err := o.w.Finish()
+	if err != nil {
+		o.f.Close()
+		return OutputTable{}, err
+	}
+	if err := o.f.Close(); err != nil {
+		return OutputTable{}, err
+	}
+	return OutputTable{
+		Num:      o.num,
+		Size:     stats.FileSize,
+		Entries:  stats.Entries,
+		Smallest: stats.Smallest,
+		Largest:  stats.Largest,
+	}, nil
+}
+
+func (o *outputWriter) abort() { o.f.Close() }

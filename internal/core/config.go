@@ -1,0 +1,140 @@
+// Package core implements the FCAE compaction engine — the paper's primary
+// contribution — as a functional simulator: it executes the exact merge the
+// KCU1500 pipeline would (real SSTable bytes in, real SSTable blocks out,
+// through the paper's device memory layouts) while accounting elapsed
+// device cycles with the pipeline model of §V (Tables II/III) plus
+// calibrated per-block overheads. The surrounding host integration
+// (package lsm) treats it as a drop-in compaction executor.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Default hardware parameters (paper §VII-A).
+const (
+	// DefaultClockHz is the engine clock (200 MHz).
+	DefaultClockHz = 200e6
+	// DefaultDRAMBytes is the card's off-chip DRAM (16 GiB).
+	DefaultDRAMBytes = 16 << 30
+	// MaxAXIBytesPerCycle is the AXI limit of 512 bits per cycle (§V-D2).
+	MaxAXIBytesPerCycle = 64
+	// DefaultDRAMLatencyCycles is the off-chip DRAM read latency (§V-B:
+	// "the read latency of DRAM is 7-8 cycles").
+	DefaultDRAMLatencyCycles = 8
+	// DefaultFIFODepth sizes each lane's decoded-stream FIFO in entries.
+	DefaultFIFODepth = 32
+)
+
+// Config describes one synthesized engine configuration. The triple
+// (N, WIn, V) is what Table VII sweeps.
+type Config struct {
+	// N is the number of decoder lanes: the maximum sorted inputs merged
+	// in hardware. Jobs with more runs fall back to software (§VI-A).
+	N int
+	// V is the value-lane width in bytes/cycle (§V-D1).
+	V int
+	// WIn is the DRAM read width for data blocks in bytes/cycle (§V-D2).
+	WIn int
+	// WOut is the DRAM write width for output data blocks.
+	WOut int
+	// ClockHz is the engine clock frequency.
+	ClockHz float64
+
+	// KeyValueSeparation enables the §V-C optimization (default on). With
+	// it off, values traverse the Comparer path byte-serially — the basic
+	// pipeline of Fig 2, kept for ablation.
+	KeyValueSeparation bool
+	// IndexDataSeparation enables the §V-B optimization (default on).
+	// With it off, the decoder's read pointer switches between index and
+	// data blocks (Algorithm 1), serializing index fetches with decode.
+	IndexDataSeparation bool
+	// DRAMLatencyCycles is the off-chip read latency.
+	DRAMLatencyCycles int
+	// FIFODepth is the per-lane key/value FIFO capacity in entries
+	// (§V-C: FIFOs hold the decoded key and value streams). It bounds how
+	// far a decoder can run ahead of the Comparer.
+	FIFODepth int
+}
+
+// DefaultConfig returns the 2-input configuration of §VII-B.
+func DefaultConfig() Config {
+	return Config{
+		N: 2, V: 16, WIn: 64, WOut: 64,
+		ClockHz:             DefaultClockHz,
+		KeyValueSeparation:  true,
+		IndexDataSeparation: true,
+		DRAMLatencyCycles:   DefaultDRAMLatencyCycles,
+		FIFODepth:           DefaultFIFODepth,
+	}
+}
+
+// MultiInputConfig returns the 9-input configuration of §VII-C (W_in and V
+// reduced to 8 so the design fits the chip; see Table VII).
+func MultiInputConfig() Config {
+	c := DefaultConfig()
+	c.N, c.V, c.WIn = 9, 8, 8
+	return c
+}
+
+// ErrConfig reports an invalid engine configuration.
+var ErrConfig = errors.New("core: invalid engine configuration")
+
+// Validate checks structural constraints and, via the resource model,
+// whether the configuration fits the chip.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: N=%d, need at least 2 inputs", ErrConfig, c.N)
+	}
+	if c.V < 1 || c.V > MaxAXIBytesPerCycle {
+		return fmt.Errorf("%w: V=%d out of [1,%d]", ErrConfig, c.V, MaxAXIBytesPerCycle)
+	}
+	if c.WIn < c.V {
+		return fmt.Errorf("%w: WIn=%d must be >= V=%d (the Stream Downsizer narrows, never widens)", ErrConfig, c.WIn, c.V)
+	}
+	if c.WIn > MaxAXIBytesPerCycle || c.WOut > MaxAXIBytesPerCycle {
+		return fmt.Errorf("%w: AXI widths capped at %d bytes/cycle", ErrConfig, MaxAXIBytesPerCycle)
+	}
+	if c.WOut < 1 {
+		return fmt.Errorf("%w: WOut=%d", ErrConfig, c.WOut)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("%w: ClockHz=%v", ErrConfig, c.ClockHz)
+	}
+	return nil
+}
+
+// Fits reports whether the configuration's resource estimate stays within
+// the chip (LUTs are the binding resource, Table VII).
+func (c Config) Fits() bool {
+	u := c.Resources()
+	return u.LUT <= 100 && u.BRAM <= 100 && u.FF <= 100
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.N == 0 {
+		c.N = d.N
+	}
+	if c.V == 0 {
+		c.V = d.V
+	}
+	if c.WIn == 0 {
+		c.WIn = d.WIn
+	}
+	if c.WOut == 0 {
+		c.WOut = d.WOut
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = d.ClockHz
+	}
+	if c.DRAMLatencyCycles == 0 {
+		c.DRAMLatencyCycles = d.DRAMLatencyCycles
+	}
+	if c.FIFODepth == 0 {
+		c.FIFODepth = d.FIFODepth
+	}
+	return c
+}

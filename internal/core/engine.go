@@ -1,0 +1,501 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"fcae/internal/keys"
+	"fcae/internal/snappy"
+	"fcae/internal/sstable"
+)
+
+// Params configure one engine run (the host sets these per job).
+type Params struct {
+	// BlockSize is the uncompressed output data block threshold (§V-A:
+	// "when the size of a data block reaches a threshold (e.g., 4KB)").
+	BlockSize int
+	// TableBytes is the output SSTable size threshold (§V-A: "the size of
+	// an SSTable also has a threshold (e.g., 2MB)").
+	TableBytes int64
+	// RestartInterval for output blocks.
+	RestartInterval int
+	// Compress selects snappy re-compression of output blocks (§V-A: "the
+	// selected keys are compressed using snappy compression").
+	Compress bool
+	// SmallestSnapshot and BottomLevel drive the Validity Check module's
+	// drop decisions (§V-A: "if the Delete flag is set, this key-value
+	// should be considered invalid").
+	SmallestSnapshot uint64
+	BottomLevel      bool
+	// CollectFilterKeys returns user keys in MetaOut so the host can
+	// attach bloom filters while combining the output.
+	CollectFilterKeys bool
+
+	// TraceWriter, when set, receives a CSV stream of per-selection
+	// pipeline timestamps (cycle numbers for FIFO-head readiness, Comparer
+	// start/end, Transfer end, Encoder end) — a software waveform of the
+	// Fig 5 pipeline. TraceLimit bounds the number of traced selections
+	// (default 1000).
+	TraceWriter io.Writer
+	TraceLimit  int
+}
+
+func (p Params) withDefaults() Params {
+	if p.BlockSize <= 0 {
+		p.BlockSize = 4096
+	}
+	if p.TableBytes <= 0 {
+		p.TableBytes = 2 << 20
+	}
+	if p.RestartInterval <= 0 {
+		p.RestartInterval = 16
+	}
+	return p
+}
+
+// Stats reports one engine run's outcome.
+type Stats struct {
+	Cycles       float64
+	PairsIn      int
+	PairsOut     int
+	PairsDropped int
+	BytesIn      int64 // device DRAM bytes read
+	BytesOut     int64 // device DRAM bytes written (WOut-aligned)
+	// Per-stage busy cycles, for bottleneck analysis and the ablation
+	// benches. DecoderBusy is the busiest single lane.
+	DecoderBusy  float64
+	ComparerBusy float64
+	TransferBusy float64
+	EncoderBusy  float64
+}
+
+// KernelTime converts cycles to wall time at the configured clock.
+func (s Stats) KernelTime(clockHz float64) time.Duration {
+	return time.Duration(s.Cycles / clockHz * float64(time.Second))
+}
+
+// SpeedMBps is input bytes over kernel time, the paper's compaction-speed
+// metric (§VII-B1).
+func (s Stats) SpeedMBps(clockHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BytesIn) / (s.Cycles / clockHz) / 1e6
+}
+
+// Result is the engine's output: the produced tables plus run statistics.
+type Result struct {
+	Outputs []*OutputTableImage
+	Stats   Stats
+}
+
+// ErrTooManyInputs is returned when a job exceeds the engine's decoder
+// lanes; the host must fall back to software compaction (§VI-A).
+var ErrTooManyInputs = errors.New("core: job exceeds engine input lanes")
+
+// lane is one decoder path: index stream + data block decoding for one
+// sorted input.
+type lane struct {
+	img      *InputImage
+	tableIdx int
+	index    indexStream
+	blocks   int // blocks remaining in current table's index
+	it       *sstable.BlockIter
+	decomp   []byte
+
+	key, value []byte
+	live       bool
+
+	decClock  float64 // decoder's own timeline (runs ahead through FIFOs)
+	headReady float64 // when the current head pair became available
+	busy      float64 // accumulated decode service cycles
+
+	// hist is a ring of the last FIFODepth consumption times: the decoder
+	// can only decode pair k once pair k-FIFODepth has left the FIFO.
+	hist     []float64
+	histPos  int
+	consumed int
+}
+
+// pushConsume records the time the current head left the FIFO and returns
+// the earliest time the decoder may start on the pair FIFODepth ahead.
+func (l *lane) pushConsume(t float64) {
+	l.hist[l.histPos] = t
+	l.histPos = (l.histPos + 1) % len(l.hist)
+	l.consumed++
+}
+
+// fifoConstraint returns the time the FIFO slot for the next decode frees.
+func (l *lane) fifoConstraint() float64 {
+	if l.consumed < len(l.hist) {
+		return 0
+	}
+	// The oldest entry in the ring is the consume time of pair k-Depth.
+	return l.hist[l.histPos]
+}
+
+// Engine is a configured FCAE instance. One Engine processes one job at a
+// time (the chip has a single pipeline); the host serializes jobs.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates cfg and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Run merges the input images into output table images, accounting device
+// cycles. Inputs must each be internally sorted; len(inputs) must not
+// exceed the configured N.
+func (e *Engine) Run(inputs []*InputImage, p Params) (*Result, error) {
+	if len(inputs) == 0 {
+		return &Result{}, nil
+	}
+	if len(inputs) > e.cfg.N {
+		return nil, fmt.Errorf("%w: %d inputs, engine has N=%d", ErrTooManyInputs, len(inputs), e.cfg.N)
+	}
+	p = p.withDefaults()
+
+	lanes := make([]*lane, len(inputs))
+	res := &Result{}
+	for i, img := range inputs {
+		l := &lane{img: img, tableIdx: -1, hist: make([]float64, e.cfg.FIFODepth)}
+		// Initial index fetch latency before the first pair can decode.
+		l.decClock = float64(e.cfg.DRAMLatencyCycles)
+		if err := e.advance(l, -1); err != nil {
+			return nil, err
+		}
+		lanes[i] = l
+		res.Stats.BytesIn += img.Bytes()
+	}
+
+	var cmpClock, xferClock, encClock float64
+	drop := engineDropPolicy{smallestSnapshot: p.SmallestSnapshot, bottomLevel: p.BottomLevel}
+	out := newOutputBuilder(e.cfg, p)
+
+	traceLimit := p.TraceLimit
+	if traceLimit <= 0 {
+		traceLimit = 1000
+	}
+	if p.TraceWriter != nil {
+		fmt.Fprintln(p.TraceWriter, "pair,lane,keyLen,valueLen,ready,cmpStart,cmpEnd,xferEnd,encEnd,dropped")
+	}
+
+	for {
+		// The Key Compare module waits for every live FIFO head (§V-A).
+		ready := 0.0
+		winner := -1
+		for i, l := range lanes {
+			if !l.live {
+				continue
+			}
+			if l.headReady > ready {
+				ready = l.headReady
+			}
+			if winner < 0 || keys.Compare(l.key, lanes[winner].key) < 0 {
+				winner = i
+			}
+		}
+		if winner < 0 {
+			break
+		}
+		w := lanes[winner]
+		res.Stats.PairsIn++
+
+		_, cmpP, xferP, encP := e.cfg.stagePeriods(len(w.key), len(w.value))
+		start := cmpClock
+		if ready > start {
+			start = ready
+		}
+		cmpClock = start + cmpP
+		res.Stats.ComparerBusy += cmpP
+
+		dropped := drop.drop(w.key)
+		if dropped {
+			res.Stats.PairsDropped++
+		} else {
+			// Key-Value Transfer then Encoder (§V-C: the Drop flag selects
+			// the key stream and value stream at the same time).
+			if t := cmpClock; t > xferClock {
+				xferClock = t
+			}
+			xferClock += xferP
+			res.Stats.TransferBusy += xferP
+			if t := xferClock; t > encClock {
+				encClock = t
+			}
+			encClock += encP
+			res.Stats.EncoderBusy += encP
+			flushCycles, err := out.add(w.key, w.value)
+			if err != nil {
+				return nil, err
+			}
+			encClock += flushCycles
+			res.Stats.PairsOut++
+		}
+		if p.TraceWriter != nil && res.Stats.PairsIn <= traceLimit {
+			fmt.Fprintf(p.TraceWriter, "%d,%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%v\n",
+				res.Stats.PairsIn, winner, len(w.key), len(w.value),
+				ready, start, cmpClock, xferClock, encClock, dropped)
+		}
+		if err := e.advance(w, start); err != nil {
+			return nil, err
+		}
+	}
+	finalFlush, err := out.finish()
+	if err != nil {
+		return nil, err
+	}
+	encClock += finalFlush
+
+	res.Outputs = out.tables
+	for _, t := range res.Outputs {
+		res.Stats.BytesOut += t.DataBytes(e.cfg.WOut) + t.IndexBytes()
+	}
+	res.Stats.Cycles = cmpClock
+	if encClock > res.Stats.Cycles {
+		res.Stats.Cycles = encClock
+	}
+	for _, l := range lanes {
+		if l.busy > res.Stats.DecoderBusy {
+			res.Stats.DecoderBusy = l.busy
+		}
+	}
+	return res, nil
+}
+
+// advance decodes the lane's next pair, charging decoder cycles and block
+// switch latencies. consumeTime is when the previous head left the FIFO
+// (negative during the initial fill).
+func (e *Engine) advance(l *lane, consumeTime float64) error {
+	if consumeTime >= 0 {
+		l.pushConsume(consumeTime)
+	}
+	for {
+		if l.it != nil {
+			l.it.Next()
+			if l.it.Valid() {
+				l.setPair(e.cfg)
+				return nil
+			}
+			if err := l.it.Error(); err != nil {
+				return err
+			}
+			l.it = nil
+		}
+		// Need the next data block.
+		if l.blocks == 0 {
+			// Next table in this input, if any.
+			if l.tableIdx+1 >= len(l.img.Tables) {
+				l.live = false
+				return nil
+			}
+			l.tableIdx++
+			t := l.img.Tables[l.tableIdx]
+			l.index = indexStream{buf: l.img.IndexMem[t.IndexOff : t.IndexOff+t.IndexLen]}
+			l.blocks = t.NumBlocks
+			if l.blocks == 0 {
+				continue
+			}
+		}
+		entry, err := l.index.next()
+		if err != nil {
+			return err
+		}
+		l.blocks--
+		if entry.Size < 1 || entry.Offset+entry.Size > uint64(len(l.img.DataMem)) {
+			return fmt.Errorf("%w: data block out of range", ErrLayout)
+		}
+		raw := l.img.DataMem[entry.Offset : entry.Offset+entry.Size]
+		ctype, payload := raw[0], raw[1:]
+		var contents []byte
+		switch sstable.Compression(ctype) {
+		case sstable.NoCompression:
+			contents = payload
+		case sstable.SnappyCompression:
+			contents, err = snappy.Decode(l.decomp[:0], payload)
+			if err != nil {
+				return fmt.Errorf("core: decoder lane: %w", err)
+			}
+			l.decomp = contents
+		default:
+			return fmt.Errorf("%w: unknown block compression %d", ErrLayout, ctype)
+		}
+		it, err := sstable.NewBlockIter(contents)
+		if err != nil {
+			return err
+		}
+		it.SeekToFirst()
+		if !it.Valid() {
+			continue // empty block: skip
+		}
+		l.it = it
+		// Block switch: index fetch (hidden or serialized per §V-B) plus
+		// the DRAM burst for the block itself.
+		l.decClock += e.cfg.blockSwitchCycles()
+		l.setPair(e.cfg)
+		return nil
+	}
+}
+
+// setPair captures the lane's current pair and charges its decode service,
+// honoring the FIFO backpressure constraint.
+func (l *lane) setPair(cfg Config) {
+	l.key = l.it.Key()
+	l.value = l.it.Value()
+	dec, _, _, _ := cfg.stagePeriods(len(l.key), len(l.value))
+	if c := l.fifoConstraint(); c > l.decClock {
+		l.decClock = c
+	}
+	l.decClock += dec
+	l.busy += dec
+	l.headReady = l.decClock
+	l.live = true
+}
+
+// engineDropPolicy mirrors the software compactor's shadowing rules; this
+// is the Validity Check module of §V-A.
+type engineDropPolicy struct {
+	smallestSnapshot uint64
+	bottomLevel      bool
+	curUser          []byte
+	hasCur           bool
+	hasPrev          bool
+	lastSeqFor       uint64
+}
+
+func (d *engineDropPolicy) drop(ikey []byte) bool {
+	user := keys.UserKey(ikey)
+	seq, kind := keys.DecodeTrailer(ikey)
+	if !d.hasCur || keys.CompareUser(user, d.curUser) != 0 {
+		d.curUser = append(d.curUser[:0], user...)
+		d.hasCur = true
+		d.hasPrev = false
+	}
+	dropped := false
+	switch {
+	case d.hasPrev && d.lastSeqFor <= d.smallestSnapshot:
+		dropped = true
+	case kind == keys.KindDelete && seq <= d.smallestSnapshot && d.bottomLevel:
+		dropped = true
+	}
+	d.hasPrev = true
+	d.lastSeqFor = seq
+	return dropped
+}
+
+// outputBuilder is the Encoder side: Data Block Encoder + Index Block
+// Encoder + output buffer (§V-A).
+type outputBuilder struct {
+	cfg          Config
+	p            Params
+	bw           *sstable.BlockWriter
+	cbuf         []byte
+	tables       []*OutputTableImage
+	cur          *OutputTableImage
+	curous       int64 // current table's accumulated block bytes
+	last         []byte
+	blockEntries int
+	wantClose    bool // table is full; close at the next user-key boundary
+}
+
+func newOutputBuilder(cfg Config, p Params) *outputBuilder {
+	return &outputBuilder{cfg: cfg, p: p, bw: sstable.NewBlockWriter(p.RestartInterval)}
+}
+
+// add encodes one pair, returning any extra encoder cycles spent flushing
+// a finished block or table.
+func (o *outputBuilder) add(ikey, value []byte) (float64, error) {
+	var cycles float64
+	// A full table closes only at a user-key boundary, preserving the
+	// one-file-per-level lookup invariant.
+	if o.wantClose && keys.CompareUser(keys.UserKey(ikey), keys.UserKey(o.last)) != 0 {
+		cycles += o.flushBlock()
+		o.closeTable()
+		cycles += blockFlushFixed // index block write-back
+		o.wantClose = false
+	}
+	if o.cur == nil {
+		o.cur = &OutputTableImage{Smallest: append([]byte(nil), ikey...)}
+		o.curous = 0
+	}
+	o.bw.Add(ikey, value)
+	o.blockEntries++
+	o.last = append(o.last[:0], ikey...)
+	if o.p.CollectFilterKeys {
+		o.cur.FilterKeys = append(o.cur.FilterKeys, append([]byte(nil), keys.UserKey(ikey)...))
+	}
+	o.cur.Entries++
+	if o.bw.EstimatedSize() >= o.p.BlockSize {
+		cycles += o.flushBlock()
+		// Table threshold check (§V-A: when the accumulated size of data
+		// blocks exceeds the threshold, the SSTable is completed).
+		if o.curous >= o.p.TableBytes {
+			o.wantClose = true
+		}
+	}
+	return cycles, nil
+}
+
+// flushBlock finalizes the current data block into the output image.
+func (o *outputBuilder) flushBlock() float64 {
+	if o.bw.Empty() {
+		return 0
+	}
+	contents := o.bw.Finish()
+	ctype := byte(sstable.NoCompression)
+	payload := contents
+	if o.p.Compress {
+		o.cbuf = snappy.Encode(o.cbuf[:0], contents)
+		if len(o.cbuf) < len(contents)-len(contents)/8 {
+			payload = append([]byte(nil), o.cbuf...)
+			ctype = byte(sstable.SnappyCompression)
+		}
+	}
+	if ctype == byte(sstable.NoCompression) {
+		payload = append([]byte(nil), contents...)
+	}
+	o.cur.Blocks = append(o.cur.Blocks, OutputBlock{
+		CType:    ctype,
+		Payload:  payload,
+		LastKey:  append([]byte(nil), o.last...),
+		RawBytes: len(contents),
+		Entries:  o.blockEntries,
+	})
+	o.curous += int64(len(payload)) + 1
+	o.blockEntries = 0
+	return o.cfg.outputFlushCycles(len(payload))
+}
+
+func (o *outputBuilder) closeTable() {
+	if o.cur == nil {
+		return
+	}
+	o.cur.Largest = append([]byte(nil), o.last...)
+	o.tables = append(o.tables, o.cur)
+	o.cur = nil
+}
+
+// finish flushes trailing state at end of stream.
+func (o *outputBuilder) finish() (float64, error) {
+	var cycles float64
+	if !o.bw.Empty() {
+		cycles += o.flushBlock()
+	}
+	if o.cur != nil && len(o.cur.Blocks) > 0 {
+		o.closeTable()
+		cycles += blockFlushFixed
+	}
+	o.cur = nil
+	return cycles, nil
+}

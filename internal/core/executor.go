@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"fcae/internal/compaction"
+	"fcae/internal/model"
+	"fcae/internal/sstable"
+)
+
+// Executor adapts the engine to the store's compaction.Executor interface.
+// It performs the full host-side protocol of paper §IV: build the device
+// memory images, DMA them over PCIe, run the engine, DMA the results back
+// and combine them into standard SSTable files. A mutex serializes jobs —
+// the card has one pipeline.
+type Executor struct {
+	mu     sync.Mutex
+	engine *Engine
+
+	// Totals since creation, surfaced in DB stats.
+	jobs          int
+	kernelCycles  float64
+	bytesShipped  int64
+	bytesReturned int64
+}
+
+// NewExecutor returns a compaction executor backed by an engine with cfg.
+func NewExecutor(cfg Config) (*Executor, error) {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{engine: eng}, nil
+}
+
+// Name implements compaction.Executor.
+func (x *Executor) Name() string { return "fcae" }
+
+// MaxRuns implements compaction.Executor: the engine takes up to N sorted
+// inputs; beyond that the host compacts in software (§VI-A: "when the
+// number of involved SSTables in Level 0 is larger than N-1, the
+// compaction task will be processed completely by the software").
+func (x *Executor) MaxRuns() int { return x.engine.cfg.N }
+
+// Compact implements compaction.Executor.
+func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction.Result, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(job.Runs) > x.engine.cfg.N {
+		return nil, fmt.Errorf("%w: %d runs", ErrTooManyInputs, len(job.Runs))
+	}
+
+	// Step 3-4 (paper §IV): serialize each input into its device image.
+	// The MetaIn block crosses the DMA boundary as real bytes (Fig 8);
+	// the "device side" decodes it back before the engine starts.
+	images := make([]*InputImage, 0, len(job.Runs))
+	for _, run := range job.Runs {
+		img, err := BuildInputImage(run, x.engine.cfg.WIn, job.TableOpts)
+		if err != nil {
+			return nil, err
+		}
+		descs, err := DecodeMetaIn(EncodeMetaIn(img))
+		if err != nil {
+			return nil, fmt.Errorf("core: MetaIn round trip: %w", err)
+		}
+		img.Tables = descs
+		images = append(images, img)
+	}
+	var shipBytes int64
+	for _, img := range images {
+		shipBytes += img.Bytes()
+	}
+
+	// Step 5-7: run the engine.
+	er, err := x.engine.Run(images, Params{
+		BlockSize:         job.TableOpts.BlockSize,
+		TableBytes:        int64(job.MaxOutputBytes),
+		RestartInterval:   job.TableOpts.RestartInterval,
+		Compress:          job.TableOpts.Compression == sstable.SnappyCompression,
+		SmallestSnapshot:  job.SmallestSnapshot,
+		BottomLevel:       job.BottomLevel,
+		CollectFilterKeys: job.TableOpts.FilterBitsPerKey > 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 7-8: fetch results and combine into standard table files. The
+	// MetaOut block also crosses the boundary as bytes; the host checks
+	// it against the assembled tables.
+	metaOut, err := DecodeMetaOut(EncodeMetaOut(er.Outputs, x.engine.cfg.WOut))
+	if err != nil {
+		return nil, fmt.Errorf("core: MetaOut round trip: %w", err)
+	}
+	res := &compaction.Result{}
+	var returnBytes int64
+	for i, img := range er.Outputs {
+		returnBytes += img.DataBytes(x.engine.cfg.WOut) + img.IndexBytes() + int64(len(metaOut[i].Smallest)+len(metaOut[i].Largest)+12)
+		ot, err := assembleTable(img, env, job.TableOpts)
+		if err != nil {
+			return nil, err
+		}
+		if ot.Entries != metaOut[i].Entries {
+			return nil, fmt.Errorf("core: MetaOut entry count %d != assembled %d", metaOut[i].Entries, ot.Entries)
+		}
+		res.Outputs = append(res.Outputs, ot)
+		res.Stats.BytesWritten += ot.Size
+	}
+
+	res.Stats.BytesRead = job.InputBytes()
+	res.Stats.PairsIn = er.Stats.PairsIn
+	res.Stats.PairsOut = er.Stats.PairsOut
+	res.Stats.PairsDropped = er.Stats.PairsDropped
+	res.Stats.KernelTime = er.Stats.KernelTime(x.engine.cfg.ClockHz)
+	res.Stats.TransferTime = model.PCIeTransferTime(shipBytes) + model.PCIeTransferTime(returnBytes)
+
+	x.jobs++
+	x.kernelCycles += er.Stats.Cycles
+	x.bytesShipped += shipBytes
+	x.bytesReturned += returnBytes
+	return res, nil
+}
+
+// Totals reports lifetime executor statistics.
+func (x *Executor) Totals() (jobs int, kernelCycles float64, shipped, returned int64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.jobs, x.kernelCycles, x.bytesShipped, x.bytesReturned
+}
+
+// BuildInputImage serializes one sorted run of tables into a device image
+// (paper Fig 7: index blocks continuous, data blocks WIn-aligned).
+func BuildInputImage(run []compaction.Table, wIn int, opts sstable.Options) (*InputImage, error) {
+	b := NewInputBuilder(wIn)
+	for _, t := range run {
+		r, err := sstable.NewReader(t.Data, t.Size, opts, nil, t.Num)
+		if err != nil {
+			return nil, fmt.Errorf("core: open input table %d: %w", t.Num, err)
+		}
+		b.BeginTable()
+		err = r.VisitRawBlocks(func(rb sstable.RawBlock) error {
+			b.AddBlock(rb.IndexKey, rb.CType, rb.Payload)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish(), nil
+}
+
+// assembleTable writes one output image as a standard table file.
+func assembleTable(img *OutputTableImage, env compaction.Env, opts sstable.Options) (compaction.OutputTable, error) {
+	num, f, err := env.NewOutput()
+	if err != nil {
+		return compaction.OutputTable{}, err
+	}
+	a := sstable.NewAssembler(f, opts)
+	for _, blk := range img.Blocks {
+		if err := a.AddRawBlock(blk.LastKey, blk.CType, blk.Payload, blk.Entries); err != nil {
+			f.Close()
+			return compaction.OutputTable{}, err
+		}
+	}
+	for _, k := range img.FilterKeys {
+		a.AddFilterKey(k)
+	}
+	a.SetBounds(img.Smallest, img.Largest)
+	stats, err := a.Finish()
+	if err != nil {
+		f.Close()
+		return compaction.OutputTable{}, err
+	}
+	if err := f.Close(); err != nil {
+		return compaction.OutputTable{}, err
+	}
+	return compaction.OutputTable{
+		Num:      num,
+		Size:     stats.FileSize,
+		Entries:  stats.Entries,
+		Smallest: stats.Smallest,
+		Largest:  stats.Largest,
+	}, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Device memory layouts (paper §VI-B, Figs 7 and 8). The host serializes
+// every compaction input into three regions per input — MetaIn, Index
+// Block Memory and Data Block Memory — and DMAs them to the card's DRAM.
+// Data blocks are stored WIn-aligned so the chip can stream them at WIn
+// bytes per cycle; index blocks are placed continuously (they are read at
+// low frequency, §V-D2).
+
+// ErrLayout reports a malformed device memory image.
+var ErrLayout = errors.New("core: corrupt device memory image")
+
+// IndexEntry is one record of a table's index stream: the key separating
+// this data block from the next, and the block's location in Data Block
+// Memory. Size excludes alignment padding and includes the leading
+// compression-type byte.
+type IndexEntry struct {
+	LastKey []byte
+	Offset  uint64
+	Size    uint64
+}
+
+// TableDesc locates one SSTable inside an input image.
+type TableDesc struct {
+	IndexOff  uint64 // offset of the table's index stream in IndexMem
+	IndexLen  uint64
+	NumBlocks int
+}
+
+// InputImage is one compaction input (one sorted run) in device memory
+// form: possibly several SSTables concatenated in key order (paper §IV
+// step 2).
+type InputImage struct {
+	Tables   []TableDesc
+	IndexMem []byte
+	DataMem  []byte
+}
+
+// Bytes returns the total DMA payload of the image including its meta
+// block, for PCIe accounting.
+func (im *InputImage) Bytes() int64 {
+	return int64(len(im.IndexMem)) + int64(len(im.DataMem)) + int64(16+24*len(im.Tables))
+}
+
+// InputBuilder assembles an InputImage table by table.
+type InputBuilder struct {
+	img   InputImage
+	align int
+}
+
+// NewInputBuilder returns a builder aligning data blocks to wIn bytes.
+func NewInputBuilder(wIn int) *InputBuilder {
+	if wIn < 1 {
+		wIn = 1
+	}
+	return &InputBuilder{align: wIn}
+}
+
+// BeginTable starts a new SSTable within the input.
+func (b *InputBuilder) BeginTable() {
+	b.img.Tables = append(b.img.Tables, TableDesc{
+		IndexOff: uint64(len(b.img.IndexMem)),
+	})
+}
+
+// AddBlock appends one raw data block (compression-type byte + payload)
+// and its index entry to the current table.
+func (b *InputBuilder) AddBlock(lastKey []byte, ctype byte, payload []byte) {
+	if len(b.img.Tables) == 0 {
+		b.BeginTable()
+	}
+	t := &b.img.Tables[len(b.img.Tables)-1]
+
+	// Data Block Memory: ctype byte + payload, padded to alignment.
+	off := uint64(len(b.img.DataMem))
+	b.img.DataMem = append(b.img.DataMem, ctype)
+	b.img.DataMem = append(b.img.DataMem, payload...)
+	size := uint64(len(b.img.DataMem)) - off
+	for len(b.img.DataMem)%b.align != 0 {
+		b.img.DataMem = append(b.img.DataMem, 0)
+	}
+
+	// Index stream entry.
+	e := IndexEntry{LastKey: lastKey, Offset: off, Size: size}
+	b.img.IndexMem = appendIndexEntry(b.img.IndexMem, e)
+	t.IndexLen = uint64(len(b.img.IndexMem)) - t.IndexOff
+	t.NumBlocks++
+}
+
+// Finish returns the completed image.
+func (b *InputBuilder) Finish() *InputImage { return &b.img }
+
+func appendIndexEntry(dst []byte, e IndexEntry) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(e.LastKey)))]...)
+	dst = append(dst, e.LastKey...)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], e.Offset)]...)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], e.Size)]...)
+	return dst
+}
+
+// indexStream decodes a table's index stream on the device side.
+type indexStream struct {
+	buf []byte
+}
+
+func (s *indexStream) next() (IndexEntry, error) {
+	var e IndexEntry
+	kl, n := binary.Uvarint(s.buf)
+	if n <= 0 || uint64(len(s.buf)-n) < kl {
+		return e, fmt.Errorf("%w: bad index key length", ErrLayout)
+	}
+	e.LastKey = s.buf[n : n+int(kl)]
+	s.buf = s.buf[n+int(kl):]
+	off, n := binary.Uvarint(s.buf)
+	if n <= 0 {
+		return e, fmt.Errorf("%w: bad index offset", ErrLayout)
+	}
+	s.buf = s.buf[n:]
+	size, n := binary.Uvarint(s.buf)
+	if n <= 0 {
+		return e, fmt.Errorf("%w: bad index size", ErrLayout)
+	}
+	s.buf = s.buf[n:]
+	e.Offset, e.Size = off, size
+	return e, nil
+}
+
+func (s *indexStream) empty() bool { return len(s.buf) == 0 }
+
+// DecodeIndex parses a table's full index stream, for tests and the host
+// combiner.
+func (im *InputImage) DecodeIndex(table int) ([]IndexEntry, error) {
+	if table < 0 || table >= len(im.Tables) {
+		return nil, fmt.Errorf("%w: table %d out of range", ErrLayout, table)
+	}
+	t := im.Tables[table]
+	s := indexStream{buf: im.IndexMem[t.IndexOff : t.IndexOff+t.IndexLen]}
+	var out []IndexEntry
+	for !s.empty() {
+		e, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) != t.NumBlocks {
+		return nil, fmt.Errorf("%w: table %d has %d index entries, descriptor says %d",
+			ErrLayout, table, len(out), t.NumBlocks)
+	}
+	return out, nil
+}
+
+// OutputBlock is one encoded output data block: contents are in the
+// sstable block format, compressed per CType.
+type OutputBlock struct {
+	CType    byte
+	Payload  []byte
+	LastKey  []byte
+	RawBytes int // uncompressed contents size
+	Entries  int
+}
+
+// OutputTableImage is one produced SSTable in device memory form plus the
+// MetaOut fields returned to the host (paper Fig 8: smallest and largest
+// key and the size of each output SSTable).
+type OutputTableImage struct {
+	Blocks   []OutputBlock
+	Smallest []byte
+	Largest  []byte
+	Entries  int
+	// FilterKeys are the user keys routed to the host so it can attach a
+	// bloom filter while combining blocks into the final file.
+	FilterKeys [][]byte
+}
+
+// DataBytes returns the table's data-block bytes padded to wOut alignment,
+// for PCIe and DRAM accounting.
+func (o *OutputTableImage) DataBytes(wOut int) int64 {
+	if wOut < 1 {
+		wOut = 1
+	}
+	var n int64
+	for _, b := range o.Blocks {
+		sz := int64(len(b.Payload)) + 1
+		if rem := sz % int64(wOut); rem != 0 {
+			sz += int64(wOut) - rem
+		}
+		n += sz
+	}
+	return n
+}
+
+// IndexBytes returns the table's index stream size.
+func (o *OutputTableImage) IndexBytes() int64 {
+	var n int64
+	for _, b := range o.Blocks {
+		n += int64(len(b.LastKey)) + 2*binary.MaxVarintLen64
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestInputImageRoundTrip(t *testing.T) {
+	b := NewInputBuilder(64)
+	b.BeginTable()
+	b.AddBlock([]byte("key-a"), 1, []byte("payload-one"))
+	b.AddBlock([]byte("key-b"), 0, []byte("payload-two-longer"))
+	b.BeginTable()
+	b.AddBlock([]byte("key-c"), 1, []byte("p3"))
+	img := b.Finish()
+
+	if len(img.Tables) != 2 {
+		t.Fatalf("tables = %d", len(img.Tables))
+	}
+	if img.Tables[0].NumBlocks != 2 || img.Tables[1].NumBlocks != 1 {
+		t.Fatalf("block counts = %d, %d", img.Tables[0].NumBlocks, img.Tables[1].NumBlocks)
+	}
+
+	entries, err := img.DecodeIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("index entries = %d", len(entries))
+	}
+	if string(entries[0].LastKey) != "key-a" || string(entries[1].LastKey) != "key-b" {
+		t.Fatalf("keys = %q, %q", entries[0].LastKey, entries[1].LastKey)
+	}
+	// Recover block one: ctype byte + payload at the recorded offset.
+	e := entries[0]
+	raw := img.DataMem[e.Offset : e.Offset+e.Size]
+	if raw[0] != 1 || !bytes.Equal(raw[1:], []byte("payload-one")) {
+		t.Fatalf("block payload = %x", raw)
+	}
+}
+
+func TestInputImageAlignment(t *testing.T) {
+	// Data blocks must be WIn-aligned (paper Fig 7).
+	for _, align := range []int{8, 16, 64} {
+		b := NewInputBuilder(align)
+		b.BeginTable()
+		b.AddBlock([]byte("k1"), 0, []byte("xyz"))
+		b.AddBlock([]byte("k2"), 0, []byte("0123456789abcdef0123"))
+		img := b.Finish()
+		entries, err := img.DecodeIndex(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range entries {
+			if e.Offset%uint64(align) != 0 {
+				t.Fatalf("align=%d: block %d at offset %d", align, i, e.Offset)
+			}
+		}
+		if len(img.DataMem)%align != 0 {
+			t.Fatalf("align=%d: data memory length %d not padded", align, len(img.DataMem))
+		}
+	}
+}
+
+func TestDecodeIndexErrors(t *testing.T) {
+	img := &InputImage{}
+	if _, err := img.DecodeIndex(0); err == nil {
+		t.Fatal("out-of-range table accepted")
+	}
+	// Corrupt index stream.
+	img = &InputImage{
+		Tables:   []TableDesc{{IndexOff: 0, IndexLen: 3, NumBlocks: 1}},
+		IndexMem: []byte{0xff, 0xff, 0xff},
+	}
+	if _, err := img.DecodeIndex(0); err == nil {
+		t.Fatal("corrupt index stream accepted")
+	}
+}
+
+func TestImageBytesAccounting(t *testing.T) {
+	b := NewInputBuilder(8)
+	b.BeginTable()
+	b.AddBlock([]byte("k"), 0, bytes.Repeat([]byte("x"), 1000))
+	img := b.Finish()
+	if img.Bytes() < 1000 {
+		t.Fatalf("Bytes = %d", img.Bytes())
+	}
+}
+
+func TestOutputTableImageAccounting(t *testing.T) {
+	o := &OutputTableImage{
+		Blocks: []OutputBlock{
+			{CType: 1, Payload: make([]byte, 100), LastKey: []byte("k1")},
+			{CType: 0, Payload: make([]byte, 63), LastKey: []byte("k2")},
+		},
+	}
+	// 101 -> 128 aligned, 64 -> 64 aligned at WOut=64.
+	if got := o.DataBytes(64); got != 128+64 {
+		t.Fatalf("DataBytes = %d", got)
+	}
+	if o.IndexBytes() <= 0 {
+		t.Fatal("IndexBytes must be positive")
+	}
+}
+
+func TestMetaInRoundTrip(t *testing.T) {
+	b := NewInputBuilder(16)
+	b.BeginTable()
+	b.AddBlock([]byte("a"), 0, []byte("one"))
+	b.AddBlock([]byte("b"), 1, []byte("two"))
+	b.BeginTable()
+	b.AddBlock([]byte("c"), 0, []byte("three"))
+	img := b.Finish()
+
+	got, err := DecodeMetaIn(EncodeMetaIn(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(img.Tables) {
+		t.Fatalf("decoded %d tables", len(got))
+	}
+	for i := range got {
+		if got[i] != img.Tables[i] {
+			t.Fatalf("table %d: %+v != %+v", i, got[i], img.Tables[i])
+		}
+	}
+	if _, err := DecodeMetaIn([]byte{1, 2}); err == nil {
+		t.Fatal("short MetaIn accepted")
+	}
+	if _, err := DecodeMetaIn([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Fatal("inconsistent MetaIn accepted")
+	}
+}
+
+func TestMetaOutRoundTrip(t *testing.T) {
+	outputs := []*OutputTableImage{
+		{
+			Blocks:   []OutputBlock{{CType: 0, Payload: make([]byte, 100), LastKey: []byte("k1")}},
+			Smallest: []byte("aaa"),
+			Largest:  []byte("mmm"),
+			Entries:  42,
+		},
+		{
+			Blocks:   []OutputBlock{{CType: 1, Payload: make([]byte, 63), LastKey: []byte("k2")}},
+			Smallest: []byte("nnn"),
+			Largest:  []byte("zzz"),
+			Entries:  7,
+		},
+	}
+	got, err := DecodeMetaOut(EncodeMetaOut(outputs, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d entries", len(got))
+	}
+	if got[0].Entries != 42 || string(got[0].Smallest) != "aaa" || string(got[0].Largest) != "mmm" {
+		t.Fatalf("entry 0 = %+v", got[0])
+	}
+	if got[1].DataBytes != outputs[1].DataBytes(64) {
+		t.Fatalf("entry 1 data bytes %d", got[1].DataBytes)
+	}
+	if _, err := DecodeMetaOut([]byte{1, 0, 0, 0}); err == nil {
+		t.Fatal("truncated MetaOut accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import "fcae/internal/model"
+
+// Resource model (paper Table VII). Utilization of the KCU1500 is
+// estimated from the configuration with linear component costs fitted
+// against the paper's six synthesized configurations:
+//
+//	N  WIn  V  | BRAM  FF   LUT
+//	2  64  16  | 18%   10%  72%
+//	2  64   8  | 17%    9%  63%
+//	9  64   8  | 35%   27%  206%   (does not fit)
+//	9  16  16  | 30%   18%  125%   (does not fit)
+//	9  16   8  | 26%   16%  103%   (does not fit)
+//	9   8   8  | 25%   14%  84%
+//
+// Component interpretation: the shared base covers the AXI/PCIe shell and
+// the Encoder; each decoder lane costs BRAM for its FIFOs (scaling with
+// WIn bursts and V-wide key/value paths), FF for stream registers, and LUT
+// dominated by the Stream Downsizer (the paper notes "the Stream Downsizer
+// module on FPGA consumes considerable LUT resource"); the Comparer tree
+// adds LUT per level of its log2(N)-deep compare network.
+const (
+	bramBase, bramPerLane, bramPerWIn, bramPerV = 11.86, 0.861, 0.0198, 0.055
+	ffBase, ffPerLane, ffPerWIn, ffPerV         = 3.91, 0.695, 0.02546, 0.0278
+	lutBase, lutPerLane, lutPerWIn, lutPerV     = 24.7, 0.386, 0.2384, 0.40
+	lutPerCompareLevel                          = 0.30
+)
+
+// Utilization is a chip resource estimate in percent of the KCU1500.
+type Utilization struct {
+	BRAM float64
+	FF   float64
+	LUT  float64
+}
+
+// vEffective saturates the value-lane width cost above 16 bytes/cycle:
+// wider lanes reuse the existing AXI datapath, so the incremental LUT/FF
+// cost per byte drops past the 128-bit boundary. (The paper synthesized
+// and measured V=64 at N=2 for Table V, so that configuration must fit;
+// the linear fit from Table VII's V∈{8,16} points alone would not.)
+func vEffective(v float64) float64 {
+	if v <= 16 {
+		return v
+	}
+	return 16 + 0.35*(v-16)
+}
+
+// Resources estimates chip utilization for the configuration.
+func (c Config) Resources() Utilization {
+	c = c.withDefaults()
+	n := float64(c.N)
+	win := float64(c.WIn)
+	v := vEffective(float64(c.V))
+	return Utilization{
+		BRAM: bramBase + n*(bramPerLane+bramPerWIn*win+bramPerV*v),
+		FF:   ffBase + n*(ffPerLane+ffPerWIn*win+ffPerV*v),
+		LUT:  lutBase + n*(lutPerLane+lutPerWIn*win+lutPerV*v) + lutPerCompareLevel*n*float64(model.CeilLog2(c.N)),
+	}
+}
+
+// MaxFittingV returns the widest value lane V (power of two, <= WIn) for
+// which the configuration fits the chip, or 0 if none does. Used by the
+// host to auto-tune a configuration, mirroring how §VII-C settles on
+// WIn=8, V=8 for the 9-input engine.
+func (c Config) MaxFittingV() int {
+	for v := c.WIn; v >= 1; v /= 2 {
+		t := c
+		t.V = v
+		if t.Fits() {
+			return v
+		}
+	}
+	return 0
+}

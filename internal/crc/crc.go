@@ -1,0 +1,28 @@
+// Package crc provides the masked CRC-32C checksums used by the WAL and
+// SSTable formats. Masking (rotate + constant) follows LevelDB so that
+// checksums of data that itself contains checksums stay well distributed.
+package crc
+
+import "hash/crc32"
+
+var table = crc32.MakeTable(crc32.Castagnoli)
+
+const maskDelta = 0xa282ead8
+
+// Value returns the masked CRC of data.
+func Value(data []byte) uint32 { return Mask(crc32.Checksum(data, table)) }
+
+// Extend returns the masked CRC of the concatenation of the data that
+// produced masked CRC c and data.
+func Extend(c uint32, data []byte) uint32 {
+	return Mask(crc32.Update(Unmask(c), table, data))
+}
+
+// Mask converts a raw CRC to its stored form.
+func Mask(c uint32) uint32 { return (c>>15 | c<<17) + maskDelta }
+
+// Unmask recovers the raw CRC from its stored form.
+func Unmask(m uint32) uint32 {
+	r := m - maskDelta
+	return r>>17 | r<<15
+}

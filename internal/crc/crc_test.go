@@ -1,0 +1,37 @@
+package crc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskUnmaskInverse(t *testing.T) {
+	f := func(c uint32) bool { return Unmask(Mask(c)) == c }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskChangesValue(t *testing.T) {
+	v := Value([]byte("foo"))
+	if Mask(Unmask(v)) != v {
+		t.Fatal("mask/unmask not symmetric")
+	}
+	if Unmask(v) == v {
+		t.Fatal("masking should change the checksum")
+	}
+}
+
+func TestExtendMatchesConcatenation(t *testing.T) {
+	a, b := []byte("hello "), []byte("world")
+	whole := Value(append(append([]byte(nil), a...), b...))
+	if got := Extend(Value(a), b); got != whole {
+		t.Fatalf("Extend = %08x, want %08x", got, whole)
+	}
+}
+
+func TestValueDistinguishesInputs(t *testing.T) {
+	if Value([]byte("a")) == Value([]byte("b")) {
+		t.Fatal("different inputs produced equal checksums")
+	}
+}

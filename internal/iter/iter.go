@@ -1,0 +1,246 @@
+// Package iter defines the internal iterator contract shared by the
+// memtable, sstable and compaction layers, plus the k-way merging iterator
+// that the software compactor and the DB read path are built on. The
+// merging iterator is the software counterpart of the engine's Comparer
+// module (paper §V-A): both repeatedly select the smallest key across N
+// sorted inputs.
+package iter
+
+import (
+	"container/heap"
+
+	"fcae/internal/keys"
+)
+
+// Iterator walks a sorted sequence of internal key/value entries in both
+// directions.
+type Iterator interface {
+	// Valid reports whether the iterator is positioned on an entry.
+	Valid() bool
+	// SeekGE positions at the first entry with internal key >= target.
+	SeekGE(target []byte)
+	// SeekToFirst positions at the first entry.
+	SeekToFirst()
+	// SeekToLast positions at the final entry.
+	SeekToLast()
+	// Next advances to the following entry.
+	Next()
+	// Prev steps to the preceding entry.
+	Prev()
+	// Key returns the current internal key. Only valid when Valid().
+	Key() []byte
+	// Value returns the current value. Only valid when Valid().
+	Value() []byte
+	// Error returns the first error the iterator encountered.
+	Error() error
+}
+
+// Merging merges n child iterators into one sorted stream. Entries with
+// equal internal keys never occur (sequence numbers are unique), so the
+// merge is a strict weak order. The iterator supports both directions
+// with LevelDB-style direction switching: reversing repositions every
+// non-current child to just before the current key.
+type Merging struct {
+	children []Iterator
+	h        mergeHeap
+	inited   bool
+	reverse  bool
+}
+
+// NewMerging returns a merging iterator over children.
+func NewMerging(children ...Iterator) *Merging {
+	return &Merging{children: children}
+}
+
+type mergeHeap struct {
+	its     []Iterator
+	reverse bool
+}
+
+func (h mergeHeap) Len() int { return len(h.its) }
+func (h mergeHeap) Less(i, j int) bool {
+	c := keys.Compare(h.its[i].Key(), h.its[j].Key())
+	if h.reverse {
+		return c > 0
+	}
+	return c < 0
+}
+func (h mergeHeap) Swap(i, j int)       { h.its[i], h.its[j] = h.its[j], h.its[i] }
+func (h *mergeHeap) Push(x interface{}) { h.its = append(h.its, x.(Iterator)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.its
+	n := len(old)
+	x := old[n-1]
+	h.its = old[:n-1]
+	return x
+}
+
+func (m *Merging) rebuild() {
+	m.h.its = m.h.its[:0]
+	m.h.reverse = m.reverse
+	for _, c := range m.children {
+		if c.Valid() {
+			m.h.its = append(m.h.its, c)
+		}
+	}
+	heap.Init(&m.h)
+	m.inited = true
+}
+
+// SeekToFirst positions every child at its start.
+func (m *Merging) SeekToFirst() {
+	for _, c := range m.children {
+		c.SeekToFirst()
+	}
+	m.reverse = false
+	m.rebuild()
+}
+
+// SeekToLast positions every child at its end.
+func (m *Merging) SeekToLast() {
+	for _, c := range m.children {
+		c.SeekToLast()
+	}
+	m.reverse = true
+	m.rebuild()
+}
+
+// SeekGE positions every child at target (forward direction).
+func (m *Merging) SeekGE(target []byte) {
+	for _, c := range m.children {
+		c.SeekGE(target)
+	}
+	m.reverse = false
+	m.rebuild()
+}
+
+// Valid reports whether an entry is available.
+func (m *Merging) Valid() bool { return m.inited && len(m.h.its) > 0 }
+
+// Key returns the extreme current key across children (smallest when
+// iterating forward, largest in reverse).
+func (m *Merging) Key() []byte { return m.h.its[0].Key() }
+
+// Value returns the value paired with Key.
+func (m *Merging) Value() []byte { return m.h.its[0].Value() }
+
+// Next advances to the following entry, switching direction if needed.
+func (m *Merging) Next() {
+	if !m.Valid() {
+		return
+	}
+	if m.reverse {
+		// Reposition every non-current child after the current key.
+		cur := append([]byte(nil), m.Key()...)
+		top := m.h.its[0]
+		for _, c := range m.children {
+			if c == top {
+				continue
+			}
+			c.SeekGE(cur)
+			// Children sitting exactly on cur cannot exist (keys are
+			// unique), so everything is strictly after it.
+		}
+		m.reverse = false
+		top.Next()
+		m.rebuild()
+		return
+	}
+	top := m.h.its[0]
+	top.Next()
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// Prev steps to the preceding entry, switching direction if needed.
+func (m *Merging) Prev() {
+	if !m.Valid() {
+		return
+	}
+	if !m.reverse {
+		// Reposition every non-current child before the current key.
+		cur := append([]byte(nil), m.Key()...)
+		top := m.h.its[0]
+		for _, c := range m.children {
+			if c == top {
+				continue
+			}
+			c.SeekGE(cur)
+			if c.Valid() {
+				c.Prev() // strictly before cur
+			} else {
+				c.SeekToLast() // all entries < cur
+			}
+		}
+		m.reverse = true
+		top.Prev()
+		m.rebuild()
+		return
+	}
+	top := m.h.its[0]
+	top.Prev()
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// Error returns the first child error.
+func (m *Merging) Error() error {
+	for _, c := range m.children {
+		if err := c.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Slice is an Iterator over in-memory entries, mainly for tests and for
+// the engine simulator's decoded streams.
+type Slice struct {
+	Keys   [][]byte
+	Values [][]byte
+	pos    int
+}
+
+// NewSlice returns an iterator over parallel key/value slices, which must
+// already be sorted by internal key.
+func NewSlice(ks, vs [][]byte) *Slice {
+	return &Slice{Keys: ks, Values: vs, pos: -1}
+}
+
+// Valid reports whether the position is in range.
+func (s *Slice) Valid() bool { return s.pos >= 0 && s.pos < len(s.Keys) }
+
+// SeekToFirst positions at index 0.
+func (s *Slice) SeekToFirst() { s.pos = 0 }
+
+// SeekToLast positions at the final entry.
+func (s *Slice) SeekToLast() { s.pos = len(s.Keys) - 1 }
+
+// SeekGE positions at the first key >= target.
+func (s *Slice) SeekGE(target []byte) {
+	s.pos = 0
+	for s.pos < len(s.Keys) && keys.Compare(s.Keys[s.pos], target) < 0 {
+		s.pos++
+	}
+}
+
+// Next advances the position.
+func (s *Slice) Next() { s.pos++ }
+
+// Prev steps the position backwards.
+func (s *Slice) Prev() { s.pos-- }
+
+// Key returns the current key.
+func (s *Slice) Key() []byte { return s.Keys[s.pos] }
+
+// Value returns the current value.
+func (s *Slice) Value() []byte { return s.Values[s.pos] }
+
+// Error always returns nil.
+func (s *Slice) Error() error { return nil }

@@ -1,0 +1,253 @@
+package iter
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fcae/internal/keys"
+)
+
+func ik(user string, seq uint64) []byte {
+	return keys.MakeInternal(nil, []byte(user), seq, keys.KindSet)
+}
+
+func slice(entries ...string) *Slice {
+	var ks, vs [][]byte
+	for i, u := range entries {
+		ks = append(ks, ik(u, uint64(1000-i)))
+		vs = append(vs, []byte("v-"+u))
+	}
+	return NewSlice(ks, vs)
+}
+
+func collect(m *Merging) []string {
+	var out []string
+	for ; m.Valid(); m.Next() {
+		out = append(out, string(keys.UserKey(m.Key())))
+	}
+	return out
+}
+
+func TestMergingTwoStreams(t *testing.T) {
+	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
+	m.SeekToFirst()
+	got := collect(m)
+	want := []string{"a", "b", "c", "d", "e", "f"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergingEmptyChildren(t *testing.T) {
+	m := NewMerging(slice(), slice("a"), slice())
+	m.SeekToFirst()
+	if got := collect(m); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("got %v", got)
+	}
+	empty := NewMerging()
+	empty.SeekToFirst()
+	if empty.Valid() {
+		t.Fatal("merge of nothing is valid")
+	}
+}
+
+func TestMergingSeekGE(t *testing.T) {
+	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
+	m.SeekGE(ik("c", keys.MaxSeq))
+	if got := collect(m); len(got) != 4 || got[0] != "c" {
+		t.Fatalf("SeekGE(c) = %v", got)
+	}
+}
+
+func TestMergingValuesTrackKeys(t *testing.T) {
+	m := NewMerging(slice("a", "c"), slice("b"))
+	m.SeekToFirst()
+	for ; m.Valid(); m.Next() {
+		want := "v-" + string(keys.UserKey(m.Key()))
+		if string(m.Value()) != want {
+			t.Fatalf("value %q for key %q", m.Value(), m.Key())
+		}
+	}
+}
+
+func TestMergingSameUserKeyOrdersBySeq(t *testing.T) {
+	a := NewSlice([][]byte{ik("k", 5)}, [][]byte{[]byte("old")})
+	b := NewSlice([][]byte{ik("k", 9)}, [][]byte{[]byte("new")})
+	m := NewMerging(a, b)
+	m.SeekToFirst()
+	if string(m.Value()) != "new" {
+		t.Fatal("newer sequence must come first")
+	}
+	m.Next()
+	if string(m.Value()) != "old" {
+		t.Fatal("older sequence second")
+	}
+}
+
+func TestMergingRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		var all []string
+		var children []Iterator
+		n := 1 + rng.Intn(6)
+		seq := uint64(1)
+		for c := 0; c < n; c++ {
+			var ks, vs [][]byte
+			var users []string
+			for i := 0; i < rng.Intn(50); i++ {
+				users = append(users, fmt.Sprintf("key%04d", rng.Intn(500)))
+			}
+			sort.Strings(users)
+			prev := ""
+			for _, u := range users {
+				if u == prev {
+					continue // unique user keys per child
+				}
+				prev = u
+				ks = append(ks, ik(u, seq))
+				vs = append(vs, []byte(u))
+				all = append(all, u)
+				seq++
+			}
+			children = append(children, NewSlice(ks, vs))
+		}
+		sort.Strings(all)
+		m := NewMerging(children...)
+		m.SeekToFirst()
+		got := collect(m)
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: %d entries, want %d", trial, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d: position %d: %q != %q", trial, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestSliceSeekGE(t *testing.T) {
+	s := slice("b", "d")
+	s.SeekGE(ik("c", keys.MaxSeq))
+	if !s.Valid() || string(keys.UserKey(s.Key())) != "d" {
+		t.Fatalf("SeekGE landed on %q", s.Key())
+	}
+	s.SeekGE(ik("z", keys.MaxSeq))
+	if s.Valid() {
+		t.Fatal("SeekGE past end valid")
+	}
+}
+
+func reverseCollect(m *Merging) []string {
+	var out []string
+	for ; m.Valid(); m.Prev() {
+		out = append(out, string(keys.UserKey(m.Key())))
+	}
+	return out
+}
+
+func TestMergingBackward(t *testing.T) {
+	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
+	m.SeekToLast()
+	got := reverseCollect(m)
+	want := []string{"f", "e", "d", "c", "b", "a"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("backward merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergingDirectionSwitch(t *testing.T) {
+	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
+	m.SeekToFirst() // a
+	m.Next()        // b
+	m.Next()        // c
+	if got := string(keys.UserKey(m.Key())); got != "c" {
+		t.Fatalf("position = %q", got)
+	}
+	m.Prev() // b
+	if got := string(keys.UserKey(m.Key())); got != "b" {
+		t.Fatalf("Prev after Next = %q", got)
+	}
+	m.Next() // c again
+	if got := string(keys.UserKey(m.Key())); got != "c" {
+		t.Fatalf("Next after Prev = %q", got)
+	}
+	m.Prev()
+	m.Prev() // a
+	if got := string(keys.UserKey(m.Key())); got != "a" {
+		t.Fatalf("double Prev = %q", got)
+	}
+	m.Prev()
+	if m.Valid() {
+		t.Fatal("Prev past the beginning must invalidate")
+	}
+}
+
+func TestMergingRandomWalkMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		// Build children with globally unique user keys.
+		var model []string
+		var children []Iterator
+		n := 1 + rng.Intn(4)
+		used := map[int]bool{}
+		seq := uint64(1)
+		for c := 0; c < n; c++ {
+			var users []string
+			for i := 0; i < 5+rng.Intn(25); i++ {
+				k := rng.Intn(200)
+				if used[k] {
+					continue
+				}
+				used[k] = true
+				users = append(users, fmt.Sprintf("key%04d", k))
+			}
+			sort.Strings(users)
+			var ks, vs [][]byte
+			for _, u := range users {
+				ks = append(ks, ik(u, seq))
+				vs = append(vs, []byte(u))
+				model = append(model, u)
+				seq++
+			}
+			children = append(children, NewSlice(ks, vs))
+		}
+		sort.Strings(model)
+		if len(model) == 0 {
+			continue
+		}
+		m := NewMerging(children...)
+		m.SeekToFirst()
+		pos := 0
+		for step := 0; step < 200; step++ {
+			if !m.Valid() {
+				t.Fatalf("trial %d: invalid at model pos %d", trial, pos)
+			}
+			if got := string(keys.UserKey(m.Key())); got != model[pos] {
+				t.Fatalf("trial %d step %d: %q != %q", trial, step, got, model[pos])
+			}
+			if rng.Intn(2) == 0 && pos+1 < len(model) {
+				m.Next()
+				pos++
+			} else if pos > 0 {
+				m.Prev()
+				pos--
+			} else {
+				m.Next()
+				pos++
+				if pos >= len(model) {
+					break
+				}
+			}
+		}
+	}
+}

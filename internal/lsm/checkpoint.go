@@ -1,0 +1,107 @@
+package lsm
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"fcae/internal/manifest"
+)
+
+// Checkpoint writes a consistent, self-contained copy of the store into
+// dest (which must not exist): the memtable is flushed, every live table
+// file is copied, and a fresh MANIFEST/CURRENT pair referencing them is
+// written. The checkpoint can be opened as a normal database.
+func (db *DB) Checkpoint(dest string) error {
+	if _, err := os.Stat(dest); err == nil {
+		return fmt.Errorf("lsm: checkpoint destination %s already exists", dest)
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+
+	// Pin the current file set against the obsolete-file sweep while the
+	// copy runs.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	v := db.vs.Current()
+	seq := db.seq
+	var pinned []uint64
+	for level := range v.Levels {
+		for _, f := range v.Levels[level] {
+			if !db.pendingOutputs[f.Num] {
+				db.pendingOutputs[f.Num] = true
+				pinned = append(pinned, f.Num)
+			}
+		}
+	}
+	db.mu.Unlock()
+	defer func() {
+		db.mu.Lock()
+		for _, n := range pinned {
+			delete(db.pendingOutputs, n)
+		}
+		db.mu.Unlock()
+	}()
+
+	if err := os.MkdirAll(dest, 0o755); err != nil {
+		return err
+	}
+	var maxNum uint64
+	for level := range v.Levels {
+		for _, f := range v.Levels[level] {
+			if err := copyFile(tablePath(db.dir, f.Num), tablePath(dest, f.Num)); err != nil {
+				return fmt.Errorf("lsm: checkpoint copy table %d: %w", f.Num, err)
+			}
+			if f.Num > maxNum {
+				maxNum = f.Num
+			}
+		}
+	}
+
+	// Fresh manifest referencing the copied tables.
+	vs, err := manifest.Open(dest, db.opts.manifestConfig())
+	if err != nil {
+		return err
+	}
+	edit := &manifest.VersionEdit{}
+	edit.SetLastSeq(seq)
+	edit.SetNextFileNum(maxNum + 1000) // clear of copied numbers
+	for level := range v.Levels {
+		for _, f := range v.Levels[level] {
+			edit.AddFile(level, &manifest.FileMetadata{
+				Num: f.Num, Size: f.Size,
+				Smallest: f.Smallest, Largest: f.Largest,
+			})
+		}
+	}
+	if err := vs.LogAndApply(edit); err != nil {
+		vs.Close()
+		return err
+	}
+	return vs.Close()
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

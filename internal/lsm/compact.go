@@ -1,0 +1,447 @@
+package lsm
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fcae/internal/compaction"
+	"fcae/internal/keys"
+	"fcae/internal/manifest"
+	"fcae/internal/memtable"
+	"fcae/internal/sstable"
+)
+
+// flushWorker turns immutable memtables into L0 tables (the first type of
+// compaction, paper §II-A). It runs on its own goroutine so that — as in
+// the paper's FCAE schedule (§VI-A) — flushes proceed while a merge
+// compaction is executing on the engine.
+func (db *DB) flushWorker() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		for !db.closed && db.bgErr == nil && db.imm == nil {
+			db.bgCond.Wait()
+		}
+		if db.closed || db.bgErr != nil {
+			db.bgCond.Broadcast()
+			return
+		}
+		db.flushBusy = true
+		imm := db.imm
+		if err := db.flushMem(imm); err != nil {
+			db.bgErr = err
+		} else {
+			db.imm = nil
+		}
+		db.flushBusy = false
+		db.deleteObsoleteFiles()
+		db.bgCond.Broadcast()
+	}
+}
+
+// flushMem writes mem as an L0 table and logs the edit. Callers hold
+// db.mu; the mutex is released during the table build so foreground writes
+// and compactions continue.
+func (db *DB) flushMem(mem *memtable.MemTable) error {
+	num := db.vs.AllocFileNum()
+	walNum := db.walNum
+	// Guard the half-built table from the obsolete-file sweep until its
+	// edit lands (a concurrent compaction's sweep must not reap it).
+	db.pendingOutputs[num] = true
+	defer delete(db.pendingOutputs, num)
+	db.mu.Unlock()
+	meta, err := db.buildTable(num, mem)
+	db.mu.Lock()
+	if err != nil {
+		return err
+	}
+	edit := &manifest.VersionEdit{}
+	edit.SetLogNum(walNum)
+	edit.SetLastSeq(db.seq)
+	if meta != nil {
+		edit.AddFile(0, meta)
+	}
+	if err := db.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+	if meta != nil {
+		db.stats.Flushes++
+		db.stats.FlushBytes += int64(meta.Size)
+	}
+	db.bgCond.Broadcast() // compactions may now be needed
+	return nil
+}
+
+// buildTable renders mem into table file num. Returns nil metadata when
+// the memtable is empty.
+func (db *DB) buildTable(num uint64, mem *memtable.MemTable) (*manifest.FileMetadata, error) {
+	it := mem.NewIterator()
+	it.SeekToFirst()
+	if !it.Valid() {
+		return nil, nil
+	}
+	path := tablePath(db.dir, num)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := sstable.NewWriter(f, db.opts.tableOpts())
+	for ; it.Valid(); it.Next() {
+		if err := w.Add(it.Key(), it.Value()); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	stats, err := w.Finish()
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return &manifest.FileMetadata{
+		Num:      num,
+		Size:     uint64(stats.FileSize),
+		RunID:    num, // every flush output is its own sorted run
+		Smallest: stats.Smallest,
+		Largest:  stats.Largest,
+	}, nil
+}
+
+// compactWorker schedules and executes merge compactions (the second type,
+// paper §II-A), offloading to the configured executor.
+func (db *DB) compactWorker() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		var c *manifest.Compaction
+		for {
+			if db.closed || db.bgErr != nil {
+				db.bgCond.Broadcast()
+				return
+			}
+			if db.manualLevel >= 0 {
+				c = db.vs.PickCompactionAtLevel(db.manualLevel)
+				db.manualLevel = -1
+				if c != nil {
+					break
+				}
+				db.bgCond.Broadcast()
+				continue
+			}
+			if c = db.vs.PickCompaction(); c != nil {
+				break
+			}
+			db.bgCond.Wait()
+		}
+		db.compactBusy = true
+		err := db.runCompaction(c)
+		if err != nil {
+			db.bgErr = err
+		}
+		db.compactBusy = false
+		db.deleteObsoleteFiles()
+		db.bgCond.Broadcast()
+	}
+}
+
+// chargeSeek decrements a file's seek allowance after a read had to probe
+// past it (LevelDB's seek-compaction heuristic: a seek costs roughly the
+// same as compacting 16 KiB). When the allowance runs out, a compaction
+// at the file's level is requested.
+func (db *DB) chargeSeek(level int, f *manifest.FileMetadata) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if f.AllowedSeeks > 0 {
+		f.AllowedSeeks--
+		if f.AllowedSeeks == 0 && db.manualLevel < 0 && level < manifest.NumLevels-1 {
+			db.stats.SeekCompactions++
+			db.manualLevel = level
+			db.bgCond.Broadcast()
+		}
+	}
+}
+
+// smallestSnapshotLocked returns the oldest sequence any reader may need.
+func (db *DB) smallestSnapshotLocked() uint64 {
+	smallest := db.seq
+	for s := range db.snapshots {
+		if s < smallest {
+			smallest = s
+		}
+	}
+	return smallest
+}
+
+// runCompaction executes one picked compaction. Called with db.mu held;
+// the mutex is released while the executor runs.
+func (db *DB) runCompaction(c *manifest.Compaction) error {
+	if !c.Tiered && c.IsTrivialMove() {
+		f := c.Inputs[0][0]
+		edit := &manifest.VersionEdit{}
+		edit.DeleteFile(c.Level, f.Num)
+		// The moved file joins the target level's single run 0 (its L0
+		// run id must not leak downward, or the level would silently
+		// split into overlapping runs).
+		moved := *f
+		moved.RunID = 0
+		edit.AddFile(c.Level+1, &moved)
+		c.RecordCompactPointer(edit)
+		db.stats.TrivialMoves++
+		return db.vs.LogAndApply(edit)
+	}
+
+	job := &compaction.Job{
+		SmallestSnapshot: db.smallestSnapshotLocked(),
+		BottomLevel:      c.IsBottomLevel(db.vs.Current()),
+		TableOpts:        db.opts.tableOpts(),
+		MaxOutputBytes:   db.opts.MaxOutputFileBytes,
+	}
+
+	// Level-0 inputs each form their own sorted run; a deeper level's
+	// files concatenate into one run (paper §IV step 2).
+	var opened []*os.File
+	defer func() {
+		for _, f := range opened {
+			f.Close()
+		}
+	}()
+	openRun := func(files []*manifest.FileMetadata) error {
+		var run []compaction.Table
+		for _, fm := range files {
+			f, err := os.Open(tablePath(db.dir, fm.Num))
+			if err != nil {
+				return err
+			}
+			opened = append(opened, f)
+			run = append(run, compaction.Table{Num: fm.Num, Size: int64(fm.Size), Data: f})
+		}
+		job.Runs = append(job.Runs, run)
+		return nil
+	}
+	if c.Level == 0 {
+		for _, fm := range c.Inputs[0] {
+			if err := openRun([]*manifest.FileMetadata{fm}); err != nil {
+				return err
+			}
+		}
+	} else if c.Tiered {
+		// Tiered levels: one merge input per sorted run (paper §VII-C).
+		for _, run := range manifest.RunGroupsOf(c.Inputs[0]) {
+			if err := openRun(run); err != nil {
+				return err
+			}
+		}
+	} else if len(c.Inputs[0]) > 0 {
+		if err := openRun(c.Inputs[0]); err != nil {
+			return err
+		}
+	}
+	if len(c.Inputs[1]) > 0 {
+		if err := openRun(c.Inputs[1]); err != nil {
+			return err
+		}
+	}
+
+	// Route to the engine when the fan-in fits, otherwise software
+	// (paper Fig 6).
+	exec := db.opts.Executor
+	fellBack := false
+	if max := exec.MaxRuns(); max > 0 && job.NumRuns() > max {
+		exec = compaction.CPU{}
+		fellBack = true
+	}
+
+	env := &dbEnv{db: db}
+	start := time.Now()
+	db.mu.Unlock()
+	res, err := exec.Compact(job, env)
+	db.mu.Lock()
+	defer func() {
+		// This job's outputs are either referenced by the applied edit or
+		// garbage; either way the sweep may now consider them.
+		for _, num := range env.nums {
+			delete(db.pendingOutputs, num)
+		}
+	}()
+	if err != nil {
+		return err
+	}
+
+	edit := &manifest.VersionEdit{}
+	for level, side := range c.Inputs {
+		for _, fm := range side {
+			edit.DeleteFile(c.Level+level, fm.Num)
+		}
+	}
+	// Tiered outputs form one fresh run; leveled outputs join the target
+	// level's single run 0.
+	var runID uint64
+	if db.opts.TieredRuns > 0 {
+		runID = db.vs.AllocFileNum()
+	}
+	for _, out := range res.Outputs {
+		edit.AddFile(c.OutputLevel(), &manifest.FileMetadata{
+			Num:      out.Num,
+			Size:     uint64(out.Size),
+			RunID:    runID,
+			Smallest: out.Smallest,
+			Largest:  out.Largest,
+		})
+	}
+	c.RecordCompactPointer(edit)
+	if err := db.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+
+	db.stats.Compactions++
+	if exec.Name() == "fcae" {
+		db.stats.HWCompactions++
+	}
+	if fellBack {
+		db.stats.SWFallbacks++
+	}
+	db.stats.CompactionRead += res.Stats.BytesRead
+	db.stats.CompactionWrite += res.Stats.BytesWritten
+	db.stats.KernelTime += res.Stats.KernelTime
+	db.stats.TransferTime += res.Stats.TransferTime
+	ls := &db.stats.Levels[c.Level]
+	ls.Compactions++
+	ls.BytesRead += res.Stats.BytesRead
+	ls.BytesWritten += res.Stats.BytesWritten
+	ls.Wall += time.Since(start)
+	return nil
+}
+
+// dbEnv implements compaction.Env over the database directory.
+type dbEnv struct {
+	db   *DB
+	nums []uint64 // file numbers allocated by this job
+}
+
+// NewOutput implements compaction.Env. Called without db.mu held (the
+// executor runs with the mutex released).
+func (e *dbEnv) NewOutput() (uint64, io.WriteCloser, error) {
+	num := e.db.vs.AllocFileNum()
+	e.db.mu.Lock()
+	e.db.pendingOutputs[num] = true
+	e.nums = append(e.nums, num)
+	e.db.mu.Unlock()
+	f, err := os.Create(tablePath(e.db.dir, num))
+	if err != nil {
+		return 0, nil, err
+	}
+	return num, f, nil
+}
+
+// CompactLevel forces one compaction at level and waits for it.
+func (db *DB) CompactLevel(level int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.manualLevel = level
+	db.bgCond.Broadcast()
+	for db.manualLevel >= 0 || db.compactBusy {
+		if db.closed || db.bgErr != nil {
+			return db.bgErr
+		}
+		db.bgCond.Wait()
+	}
+	return db.bgErr
+}
+
+// Flush forces the current memtable to disk and waits for completion.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.mem.Empty() && db.imm == nil {
+		return nil
+	}
+	for db.imm != nil || db.committing {
+		// Rotating the WAL or swapping memtables under a group leader's
+		// unlocked commit window would tear that group.
+		if db.bgErr != nil || db.closed {
+			return db.bgErr
+		}
+		db.bgCond.Wait()
+	}
+	if db.mem.Empty() {
+		return db.bgErr
+	}
+	if err := db.newWAL(); err != nil {
+		return err
+	}
+	db.imm = db.mem
+	db.mem = memtable.New(db.nextMemSeed())
+	db.bgCond.Broadcast()
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.bgCond.Wait()
+	}
+	return db.bgErr
+}
+
+// WaitIdle blocks until no flush or compaction work is pending, useful for
+// deterministic benchmarks.
+func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for {
+		if db.bgErr != nil || db.closed {
+			return db.bgErr
+		}
+		idle := db.imm == nil && !db.flushBusy && !db.compactBusy &&
+			db.manualLevel < 0 && db.vs.PickCompaction() == nil
+		if idle {
+			return nil
+		}
+		db.bgCond.Wait()
+	}
+}
+
+// deleteObsoleteFiles removes files no longer referenced by the version
+// state. Called with db.mu held.
+func (db *DB) deleteObsoleteFiles() {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return
+	}
+	live := db.vs.LiveFileNums()
+	minLog := db.vs.LogNum()
+	for _, e := range entries {
+		kind, num := parseFileName(e.Name())
+		keep := true
+		switch kind {
+		case kindWAL:
+			keep = num >= minLog || num == db.walNum
+		case kindTable:
+			keep = live[num] || db.pendingOutputs[num]
+		case kindTemp:
+			keep = false
+		}
+		if !keep {
+			if kind == kindTable {
+				db.tables.evict(num)
+			}
+			os.Remove(filepath.Join(db.dir, e.Name()))
+		}
+	}
+}
+
+// compactionKeyRange is exposed for tests.
+func compactionKeyRange(c *manifest.Compaction) keys.Range {
+	return keys.Range{Start: c.SmallestUser, Limit: c.LargestUser}
+}

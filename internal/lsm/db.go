@@ -1,0 +1,577 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+	"time"
+
+	"fcae/internal/cache"
+	"fcae/internal/crc"
+	"fcae/internal/keys"
+	"fcae/internal/manifest"
+	"fcae/internal/memtable"
+	"fcae/internal/wal"
+)
+
+// ErrNotFound is returned by Get when the key does not exist.
+var ErrNotFound = errors.New("lsm: not found")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("lsm: database closed")
+
+// DB is an LSM-tree key-value store. All methods are safe for concurrent
+// use.
+type DB struct {
+	dir        string
+	opts       Options
+	vs         *manifest.VersionSet
+	blockCache *cache.Cache
+	tables     *tableCache
+
+	mu        sync.Mutex
+	mem       *memtable.MemTable
+	imm       *memtable.MemTable
+	wal       *wal.Writer
+	walFile   *os.File
+	walNum    uint64
+	seq       uint64
+	snapshots map[uint64]int
+	bgCond    *sync.Cond
+	writeCond *sync.Cond
+	writers   []*writer
+	bgErr     error
+	closed    bool
+	memSeed   int64
+
+	committing  bool // a group leader is writing the WAL unlocked
+	flushBusy   bool
+	compactBusy bool
+	manualLevel int // -1 when no manual compaction is requested
+	// pendingOutputs holds table numbers being written by an in-flight
+	// compaction so the obsolete-file sweep does not reap them before
+	// their version edit lands.
+	pendingOutputs map[uint64]bool
+
+	stats Stats
+}
+
+// Stats aggregates operational counters.
+type Stats struct {
+	Writes          int64
+	BytesWritten    int64
+	GroupCommits    int64 // WAL records written (leaders)
+	GroupedWrites   int64 // Write calls committed, including followers
+	Flushes         int64
+	FlushBytes      int64
+	Compactions     int64
+	HWCompactions   int64 // executed on the FCAE backend
+	SWFallbacks     int64 // exceeded the engine's N and ran in software
+	TrivialMoves    int64
+	SeekCompactions int64 // triggered by the seek-allowance heuristic
+	CompactionRead  int64
+	CompactionWrite int64
+	KernelTime      time.Duration // modeled engine time
+	TransferTime    time.Duration // modeled PCIe time
+	StallTime       time.Duration // foreground write throttling
+	StallWrites     int64
+
+	// Levels breaks compaction work down by source level (flushes count
+	// as level -1 -> 0 and are reported separately above).
+	Levels [manifest.NumLevels]LevelStat
+}
+
+// LevelStat is per-level compaction accounting.
+type LevelStat struct {
+	Compactions  int64
+	BytesRead    int64
+	BytesWritten int64
+	Wall         time.Duration
+}
+
+func walCRC(t byte, payload []byte) uint32 {
+	return crc.Extend(crc.Value([]byte{t}), payload)
+}
+
+// Open opens (creating if necessary) the database in dir.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	vs, err := manifest.Open(dir, opts.manifestConfig())
+	if err != nil {
+		return nil, err
+	}
+	bc := cache.New(opts.BlockCacheBytes)
+	db := &DB{
+		dir:            dir,
+		opts:           opts,
+		vs:             vs,
+		blockCache:     bc,
+		tables:         newTableCache(dir, opts.tableOpts(), bc, 500),
+		snapshots:      make(map[uint64]int),
+		seq:            vs.LastSeq(),
+		memSeed:        opts.SkiplistSeed,
+		manualLevel:    -1,
+		pendingOutputs: make(map[uint64]bool),
+	}
+	db.bgCond = sync.NewCond(&db.mu)
+	db.writeCond = sync.NewCond(&db.mu)
+	db.mem = memtable.New(db.nextMemSeed())
+
+	if err := db.recoverWALs(); err != nil {
+		vs.Close()
+		return nil, err
+	}
+	if err := db.newWAL(); err != nil {
+		vs.Close()
+		return nil, err
+	}
+	// Flush recovered entries so the replayed logs can be dropped.
+	if !db.mem.Empty() {
+		db.mu.Lock()
+		err := db.flushMem(db.mem)
+		if err == nil {
+			db.mem = memtable.New(db.nextMemSeed())
+		}
+		db.mu.Unlock()
+		if err != nil {
+			vs.Close()
+			return nil, err
+		}
+	}
+	db.deleteObsoleteFiles()
+
+	go db.flushWorker()
+	go db.compactWorker()
+	return db, nil
+}
+
+func (db *DB) nextMemSeed() int64 {
+	db.memSeed++
+	return db.memSeed
+}
+
+// recoverWALs replays logs newer than the manifest's durable point.
+func (db *DB) recoverWALs() error {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	var nums []uint64
+	minLog := db.vs.LogNum()
+	for _, e := range entries {
+		if kind, num := parseFileName(e.Name()); kind == kindWAL && num >= minLog {
+			nums = append(nums, num)
+		}
+	}
+	sortUint64(nums)
+	for _, num := range nums {
+		if err := db.replayWAL(num); err != nil {
+			return fmt.Errorf("lsm: recover %06d.log: %w", num, err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) replayWAL(num uint64) error {
+	f, err := os.Open(walPath(db.dir, num))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := wal.NewReader(f, walCRC)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, wal.ErrCorrupt) {
+			// Torn tail from a crash: recovery stops here.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		applyErr := batchIterate(rec, func(seq uint64, kind keys.Kind, key, value []byte) error {
+			db.mem.Add(seq, kind, key, value)
+			if seq > db.seq {
+				db.seq = seq
+			}
+			return nil
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+	}
+}
+
+// newWAL rotates to a fresh log file.
+func (db *DB) newWAL() error {
+	num := db.vs.AllocFileNum()
+	f, err := os.Create(walPath(db.dir, num))
+	if err != nil {
+		return err
+	}
+	if db.walFile != nil {
+		db.walFile.Close()
+	}
+	db.walFile = f
+	db.wal = wal.NewWriter(f, walCRC)
+	db.walNum = num
+	return nil
+}
+
+// Put sets key to value.
+func (db *DB) Put(key, value []byte) error {
+	var b Batch
+	b.Put(key, value)
+	return db.Write(&b)
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error {
+	var b Batch
+	b.Delete(key)
+	return db.Write(&b)
+}
+
+// writer is one queued Write call awaiting group commit.
+type writer struct {
+	batch *Batch
+	err   error
+	done  bool
+}
+
+// Group-commit bounds: a leader coalesces at most this many followers /
+// bytes into one WAL record, trading sync count against commit latency.
+const (
+	maxGroupWriters = 128
+	maxGroupBytes   = 1 << 20
+)
+
+// Write commits a batch atomically. Concurrent Write calls coalesce: the
+// front writer becomes the group leader, appends one combined WAL record
+// (and syncs once, if configured) on behalf of everyone queued behind it.
+func (db *DB) Write(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	w := &writer{batch: b}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.writers = append(db.writers, w)
+	for !w.done && db.writers[0] != w {
+		db.writeCond.Wait()
+	}
+	if w.done {
+		// A previous leader committed this batch.
+		return w.err
+	}
+
+	// Leader path.
+	if err := db.makeRoomForWrite(); err != nil {
+		db.popWriters(1)
+		w.done, w.err = true, err
+		db.writeCond.Broadcast()
+		return err
+	}
+	group := db.peekGroup(maxGroupWriters, maxGroupBytes)
+
+	total := 0
+	for _, g := range group {
+		total += g.batch.Len()
+	}
+	base := db.seq + 1
+	var rep []byte
+	if len(group) == 1 {
+		rep = group[0].batch.seal(base)
+	} else {
+		rep = make([]byte, batchHeaderSize, maxGroupBytes+batchHeaderSize)
+		for _, g := range group {
+			rep = append(rep, g.batch.seal(0)[batchHeaderSize:]...)
+		}
+		binary.LittleEndian.PutUint64(rep[0:8], base)
+		binary.LittleEndian.PutUint32(rep[8:12], uint32(total))
+	}
+
+	// The slow part — WAL append, optional fsync, memtable insert — runs
+	// with the mutex RELEASED so more writers can queue behind this group
+	// (that queueing is what makes the next group larger). The committing
+	// flag keeps WAL rotation and Close away; the group stays at the
+	// queue front so no second leader can start; sequences are published
+	// only after the apply, so readers never see a half-applied group.
+	mem := db.mem
+	db.committing = true
+	db.mu.Unlock()
+	err := db.wal.Append(rep)
+	if err == nil && db.opts.SyncWrites {
+		err = db.walFile.Sync()
+	}
+	if err == nil {
+		err = batchIterate(rep, func(seq uint64, kind keys.Kind, key, value []byte) error {
+			mem.Add(seq, kind, key, value)
+			return nil
+		})
+	}
+	db.mu.Lock()
+	db.committing = false
+
+	if err != nil {
+		db.bgErr = err
+	} else {
+		db.seq = base + uint64(total) - 1
+		db.stats.Writes += int64(total)
+		db.stats.BytesWritten += int64(len(rep))
+		db.stats.GroupCommits++
+		db.stats.GroupedWrites += int64(len(group))
+	}
+	db.popWriters(len(group))
+	for _, g := range group {
+		g.done, g.err = true, err
+	}
+	db.writeCond.Broadcast()
+	db.bgCond.Broadcast() // wake anything waiting out the commit window
+	return err
+}
+
+// peekGroup returns up to maxN front writers bounded by maxBytes of
+// payload, leaving them queued (the group is popped after the commit).
+func (db *DB) peekGroup(maxN, maxBytes int) []*writer {
+	n := 0
+	bytes := 0
+	for n < len(db.writers) && n < maxN {
+		bytes += db.writers[n].batch.Size()
+		n++
+		if bytes >= maxBytes {
+			break
+		}
+	}
+	return append([]*writer(nil), db.writers[:n]...)
+}
+
+// popWriters removes the n front writers from the queue.
+func (db *DB) popWriters(n int) {
+	db.writers = append(db.writers[:0:0], db.writers[n:]...)
+}
+
+// makeRoomForWrite applies LevelDB's throttling rules: slow down when L0
+// backs up, switch memtables when full, and stop when both memtables and
+// L0 are saturated (paper §I: "system jam may occur, as flushing new data
+// to disk is hindered by frequent compaction").
+func (db *DB) makeRoomForWrite() error {
+	slept := false
+	for {
+		switch {
+		case db.bgErr != nil:
+			return db.bgErr
+		case db.closed:
+			return ErrClosed
+		case !slept && db.vs.Current().NumFiles(0) >= db.opts.L0SlowdownTrigger:
+			db.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			db.mu.Lock()
+			db.stats.StallTime += time.Millisecond
+			db.stats.StallWrites++
+			slept = true
+		case db.mem.ApproximateSize() < db.opts.MemTableBytes:
+			return nil
+		case db.imm != nil:
+			// Previous flush still running: wait.
+			db.waitStalled()
+		case db.vs.Current().NumFiles(0) >= db.opts.L0StopTrigger:
+			db.waitStalled()
+		default:
+			// Switch to a fresh memtable and WAL.
+			if err := db.newWAL(); err != nil {
+				db.bgErr = err
+				return err
+			}
+			db.imm = db.mem
+			db.mem = memtable.New(db.nextMemSeed())
+			db.bgCond.Broadcast()
+		}
+	}
+}
+
+func (db *DB) waitStalled() {
+	start := time.Now()
+	db.bgCond.Wait()
+	db.stats.StallTime += time.Since(start)
+	db.stats.StallWrites++
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	seq := db.seq
+	db.mu.Unlock()
+	return db.getRetry(key, seq)
+}
+
+// getRetry reads at seq, re-capturing the version when a concurrent
+// compaction unlinks a table between the version snapshot and the file
+// open (versions are not refcounted; an ErrNotExist on a table open can
+// only mean the version moved on).
+func (db *DB) getRetry(key []byte, seq uint64) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return nil, ErrClosed
+		}
+		mem, imm := db.mem, db.imm
+		v := db.vs.Current()
+		db.mu.Unlock()
+		val, err := db.getAt(key, seq, mem, imm, v)
+		if (errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrClosed)) && attempt < 100 {
+			continue
+		}
+		return val, err
+	}
+}
+
+// GetAt performs a read at an explicit snapshot sequence.
+func (db *DB) getAt(key []byte, seq uint64, mem, imm *memtable.MemTable, v *manifest.Version) ([]byte, error) {
+	if val, del, found := mem.Get(key, seq); found {
+		if del {
+			return nil, ErrNotFound
+		}
+		return val, nil
+	}
+	if imm != nil {
+		if val, del, found := imm.Get(key, seq); found {
+			if del {
+				return nil, ErrNotFound
+			}
+			return val, nil
+		}
+	}
+	var (
+		result []byte
+		found  bool
+		del    bool
+		ferr   error
+		// firstMiss is the first file probed without yielding the key;
+		// LevelDB charges it a seek and compacts it when its allowance
+		// runs out, so hot misses get merged away.
+		firstMiss *manifest.FileMetadata
+		firstLvl  int
+		probed    int
+	)
+	v.ForEachOverlapping(key, func(level int, f *manifest.FileMetadata) bool {
+		probed++
+		r, err := db.tables.get(f.Num)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		val, d, ok, err := r.Get(key, seq)
+		if err != nil {
+			ferr = err
+			return false
+		}
+		if ok {
+			result, del, found = val, d, true
+			return false
+		}
+		if firstMiss == nil {
+			firstMiss, firstLvl = f, level
+		}
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if firstMiss != nil && probed > 1 {
+		db.chargeSeek(firstLvl, firstMiss)
+	}
+	if !found || del {
+		return nil, ErrNotFound
+	}
+	return result, nil
+}
+
+// Has reports whether key exists.
+func (db *DB) Has(key []byte) (bool, error) {
+	_, err := db.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// Stats returns a copy of the operational counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// LevelFiles returns the file count per level.
+func (db *DB) LevelFiles() [manifest.NumLevels]int {
+	v := db.vs.Current()
+	var out [manifest.NumLevels]int
+	for i := range out {
+		out[i] = v.NumFiles(i)
+	}
+	return out
+}
+
+// LevelBytes returns the byte total per level.
+func (db *DB) LevelBytes() [manifest.NumLevels]uint64 {
+	v := db.vs.Current()
+	var out [manifest.NumLevels]uint64
+	for i := range out {
+		out[i] = v.LevelBytes(i)
+	}
+	return out
+}
+
+// Close flushes state and stops background work. Pending memtable contents
+// remain recoverable from the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.bgCond.Broadcast()
+	for db.flushBusy || db.compactBusy || db.committing {
+		db.bgCond.Wait()
+	}
+	err := db.bgErr
+	if db.walFile != nil {
+		if e := db.walFile.Sync(); e != nil && err == nil {
+			err = e
+		}
+		if e := db.walFile.Close(); e != nil && err == nil {
+			err = e
+		}
+		db.walFile = nil
+	}
+	db.mu.Unlock()
+	db.tables.close()
+	if e := db.vs.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package lsm
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// fileKind classifies database directory entries.
+type fileKind int
+
+const (
+	kindUnknown fileKind = iota
+	kindWAL
+	kindTable
+	kindManifest
+	kindCurrent
+	kindTemp
+)
+
+// walPath returns the WAL file path for number num.
+func walPath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.log", num))
+}
+
+// tablePath returns the SSTable file path for number num.
+func tablePath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.ldb", num))
+}
+
+// parseFileName classifies a directory entry and extracts its number.
+func parseFileName(name string) (fileKind, uint64) {
+	switch {
+	case name == "CURRENT":
+		return kindCurrent, 0
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(name[len("MANIFEST-"):], 10, 64)
+		if err != nil {
+			return kindUnknown, 0
+		}
+		return kindManifest, n
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+		if err != nil {
+			return kindUnknown, 0
+		}
+		return kindWAL, n
+	case strings.HasSuffix(name, ".ldb"):
+		n, err := strconv.ParseUint(strings.TrimSuffix(name, ".ldb"), 10, 64)
+		if err != nil {
+			return kindUnknown, 0
+		}
+		return kindTable, n
+	case strings.HasSuffix(name, ".tmp"):
+		return kindTemp, 0
+	}
+	return kindUnknown, 0
+}

@@ -1,0 +1,388 @@
+package lsm
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+
+	"fcae/internal/iter"
+	"fcae/internal/keys"
+	"fcae/internal/sstable"
+)
+
+// Iterator walks user keys at a fixed snapshot, in either direction.
+// Entries newer than the snapshot, shadowed versions and tombstones are
+// filtered out. Key/Value views are valid until the next positioning call.
+type Iterator struct {
+	db       *DB
+	seq      uint64
+	internal *iter.Merging
+	files    []*os.File
+	err      error
+	valid    bool
+	reverse  bool // direction of the last positioning call
+	key      []byte
+	value    []byte
+	closed   bool
+}
+
+// NewIterator returns an iterator over the current state of the database.
+func (db *DB) NewIterator() (*Iterator, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	seq := db.seq
+	db.mu.Unlock()
+	return db.newIteratorRetry(seq)
+}
+
+// newIteratorRetry re-captures the version when a concurrent compaction
+// unlinks a table between the version snapshot and the eager file opens.
+func (db *DB) newIteratorRetry(seq uint64) (*Iterator, error) {
+	for attempt := 0; ; attempt++ {
+		it, err := db.newIteratorAt(seq)
+		if (errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrClosed)) && attempt < 100 {
+			continue
+		}
+		return it, err
+	}
+}
+
+// newIteratorAt builds the merged internal iterator pinned at seq. Each
+// table gets its own file handle so compactions deleting inputs cannot
+// invalidate a live iterator.
+func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
+	db.mu.Lock()
+	mem, imm := db.mem, db.imm
+	v := db.vs.Current()
+	db.mu.Unlock()
+
+	it := &Iterator{db: db, seq: seq}
+	var children []iter.Iterator
+	children = append(children, mem.NewIterator())
+	if imm != nil {
+		children = append(children, imm.NewIterator())
+	}
+	fail := func(err error) (*Iterator, error) {
+		for _, f := range it.files {
+			f.Close()
+		}
+		return nil, err
+	}
+	openTable := func(num uint64) (*sstable.Reader, error) {
+		f, err := os.Open(tablePath(db.dir, num))
+		if err != nil {
+			return nil, err
+		}
+		it.files = append(it.files, f)
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		return sstable.NewReader(f, st.Size(), db.opts.tableOpts(), db.blockCache, num)
+	}
+	for _, fm := range v.Levels[0] {
+		r, err := openTable(fm.Num)
+		if err != nil {
+			return fail(err)
+		}
+		children = append(children, r.NewIterator())
+	}
+	for level := 1; level < len(v.Levels); level++ {
+		// One concatenating child per sorted run: a leveled level is a
+		// single run; tiered levels contribute several (§VII-C).
+		for _, run := range v.RunGroups(level) {
+			readers := make([]*sstable.Reader, 0, len(run))
+			for _, fm := range run {
+				r, err := openTable(fm.Num)
+				if err != nil {
+					return fail(err)
+				}
+				readers = append(readers, r)
+			}
+			children = append(children, newLevelIter(readers))
+		}
+	}
+	it.internal = iter.NewMerging(children...)
+	return it, nil
+}
+
+// First positions at the smallest visible key.
+func (it *Iterator) First() bool {
+	it.internal.SeekToFirst()
+	it.reverse = false
+	return it.findNextUserEntry(nil)
+}
+
+// Last positions at the largest visible key.
+func (it *Iterator) Last() bool {
+	it.internal.SeekToLast()
+	it.reverse = true
+	return it.findPrevUserEntry()
+}
+
+// Seek positions at the first visible key >= userKey.
+func (it *Iterator) Seek(userKey []byte) bool {
+	it.internal.SeekGE(keys.MakeInternal(nil, userKey, it.seq, keys.KindSet))
+	it.reverse = false
+	return it.findNextUserEntry(nil)
+}
+
+// Next advances to the following visible key.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	skip := append([]byte(nil), it.key...)
+	if it.reverse {
+		// The internal iterator sits before the current key's span; jump
+		// past every version of the current key. A zero trailer sorts
+		// after all real entries of the same user key.
+		it.internal.SeekGE(keys.MakeInternal(nil, skip, 0, keys.KindDelete))
+		it.reverse = false
+	} else {
+		it.internal.Next()
+	}
+	return it.findNextUserEntry(skip)
+}
+
+// Prev steps to the preceding visible key.
+func (it *Iterator) Prev() bool {
+	if !it.valid {
+		return false
+	}
+	if !it.reverse {
+		// The internal iterator sits on the surfaced entry; step backward
+		// past every version of the current key (newer, invisible
+		// versions sort before it).
+		cur := append([]byte(nil), it.key...)
+		for it.internal.Valid() {
+			p, ok := keys.Parse(it.internal.Key())
+			if !ok {
+				it.err = sstable.ErrCorrupt
+				it.valid = false
+				return false
+			}
+			if keys.CompareUser(p.User, cur) < 0 {
+				break
+			}
+			it.internal.Prev()
+		}
+		it.reverse = true
+	}
+	return it.findPrevUserEntry()
+}
+
+// findNextUserEntry scans forward for the next visible entry, skipping
+// entries for the user key `skip`, anything above the snapshot, shadowed
+// versions and deletions.
+func (it *Iterator) findNextUserEntry(skip []byte) bool {
+	it.valid = false
+	for it.internal.Valid() {
+		ikey := it.internal.Key()
+		p, ok := keys.Parse(ikey)
+		if !ok {
+			it.err = sstable.ErrCorrupt
+			return false
+		}
+		switch {
+		case p.Seq > it.seq:
+			// Not visible in this snapshot.
+		case skip != nil && keys.CompareUser(p.User, skip) == 0:
+			// Older version of a key already surfaced (or deleted).
+		case p.Kind == keys.KindDelete:
+			skip = append(skip[:0], p.User...)
+		default:
+			it.key = append(it.key[:0], p.User...)
+			it.value = append(it.value[:0], it.internal.Value()...)
+			it.valid = true
+			return true
+		}
+		it.internal.Next()
+	}
+	it.err = it.internal.Error()
+	return false
+}
+
+// findPrevUserEntry scans backward for the previous visible entry
+// (LevelDB's FindPrevUserEntry): walking backwards, the last visible
+// entry seen for a user key before stepping past it is that key's newest
+// version; a tombstone seen later (i.e. newer) discards it.
+func (it *Iterator) findPrevUserEntry() bool {
+	it.valid = false
+	kind := keys.KindDelete // sentinel: nothing saved yet
+	var savedKey, savedValue []byte
+	for it.internal.Valid() {
+		p, ok := keys.Parse(it.internal.Key())
+		if !ok {
+			it.err = sstable.ErrCorrupt
+			return false
+		}
+		if p.Seq <= it.seq {
+			if kind != keys.KindDelete && keys.CompareUser(p.User, savedKey) < 0 {
+				// saved holds the newest visible version of savedKey.
+				break
+			}
+			kind = p.Kind
+			if kind == keys.KindDelete {
+				savedKey = savedKey[:0]
+				savedValue = savedValue[:0]
+			} else {
+				savedKey = append(savedKey[:0], p.User...)
+				savedValue = append(savedValue[:0], it.internal.Value()...)
+			}
+		}
+		it.internal.Prev()
+	}
+	if kind == keys.KindDelete {
+		it.err = it.internal.Error()
+		return false
+	}
+	it.key = append(it.key[:0], savedKey...)
+	it.value = append(it.value[:0], savedValue...)
+	it.valid = true
+	return true
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current user key.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Error returns the first error encountered.
+func (it *Iterator) Error() error { return it.err }
+
+// Close releases the iterator's file handles.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.valid = false
+	var err error
+	for _, f := range it.files {
+		if e := f.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// levelIter concatenates the tables of one level (>= 1), whose key ranges
+// are disjoint and sorted.
+type levelIter struct {
+	readers []*sstable.Reader
+	idx     int
+	cur     *sstable.Iterator
+	err     error
+}
+
+func newLevelIter(readers []*sstable.Reader) *levelIter {
+	return &levelIter{readers: readers, idx: -1}
+}
+
+func (l *levelIter) open(i int) {
+	l.idx = i
+	if i >= 0 && i < len(l.readers) {
+		l.cur = l.readers[i].NewIterator()
+	} else {
+		l.cur = nil
+	}
+}
+
+func (l *levelIter) Valid() bool { return l.err == nil && l.cur != nil && l.cur.Valid() }
+
+func (l *levelIter) SeekToFirst() {
+	l.open(0)
+	if l.cur != nil {
+		l.cur.SeekToFirst()
+		l.skipEmpty()
+	}
+}
+
+func (l *levelIter) SeekGE(target []byte) {
+	for i := range l.readers {
+		l.open(i)
+		l.cur.SeekGE(target)
+		if l.cur.Valid() {
+			return
+		}
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+	}
+	l.cur = nil
+}
+
+func (l *levelIter) SeekToLast() {
+	l.open(len(l.readers) - 1)
+	if l.cur != nil {
+		l.cur.SeekToLast()
+		l.skipEmptyBackward()
+	}
+}
+
+func (l *levelIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Next()
+	l.skipEmpty()
+}
+
+func (l *levelIter) Prev() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Prev()
+	l.skipEmptyBackward()
+}
+
+func (l *levelIter) skipEmptyBackward() {
+	for l.err == nil && l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if l.idx-1 < 0 {
+			l.cur = nil
+			return
+		}
+		l.open(l.idx - 1)
+		l.cur.SeekToLast()
+	}
+}
+
+func (l *levelIter) skipEmpty() {
+	for l.err == nil && l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if l.idx+1 >= len(l.readers) {
+			l.cur = nil
+			return
+		}
+		l.open(l.idx + 1)
+		l.cur.SeekToFirst()
+	}
+}
+
+func (l *levelIter) Key() []byte   { return l.cur.Key() }
+func (l *levelIter) Value() []byte { return l.cur.Value() }
+func (l *levelIter) Error() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.cur != nil {
+		return l.cur.Error()
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestBackwardFullScan(t *testing.T) {
+	db := openTest(t, smallOpts())
+	want := fillRandom(t, db, 2000, 50, 41)
+	var sorted []string
+	for k := range want {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := len(sorted) - 1
+	for ok := it.Last(); ok; ok = it.Prev() {
+		if i < 0 {
+			t.Fatal("backward scan returned extra keys")
+		}
+		if string(it.Key()) != sorted[i] {
+			t.Fatalf("backward position %d: got %q want %q", i, it.Key(), sorted[i])
+		}
+		if string(it.Value()) != want[sorted[i]] {
+			t.Fatalf("backward value mismatch at %q", it.Key())
+		}
+		i--
+	}
+	if err := it.Error(); err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("backward scan stopped with %d keys remaining", i+1)
+	}
+}
+
+func TestDirectionSwitching(t *testing.T) {
+	db := openTest(t, Options{})
+	for i := 0; i < 20; i++ {
+		db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k05"), []byte("v05b")) // newer version in the memtable
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	if !it.Seek([]byte("k05")) || string(it.Key()) != "k05" || string(it.Value()) != "v05b" {
+		t.Fatalf("Seek(k05) = %q/%q", it.Key(), it.Value())
+	}
+	if !it.Next() || string(it.Key()) != "k06" {
+		t.Fatalf("Next = %q", it.Key())
+	}
+	if !it.Prev() || string(it.Key()) != "k05" || string(it.Value()) != "v05b" {
+		t.Fatalf("Prev after Next = %q/%q (must surface the NEWEST version)", it.Key(), it.Value())
+	}
+	if !it.Prev() || string(it.Key()) != "k04" {
+		t.Fatalf("second Prev = %q", it.Key())
+	}
+	if !it.Next() || string(it.Key()) != "k05" {
+		t.Fatalf("Next after Prev = %q", it.Key())
+	}
+	// Walk to the boundary.
+	if !it.First() || string(it.Key()) != "k00" {
+		t.Fatalf("First = %q", it.Key())
+	}
+	if it.Prev() {
+		t.Fatal("Prev before first should invalidate")
+	}
+	if !it.Last() || string(it.Key()) != "k19" {
+		t.Fatalf("Last = %q", it.Key())
+	}
+	if it.Next() {
+		t.Fatal("Next after last should invalidate")
+	}
+}
+
+func TestBackwardHidesTombstones(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	db.Put([]byte("c"), []byte("3"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Delete([]byte("b"))
+
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var seen []string
+	for ok := it.Last(); ok; ok = it.Prev() {
+		seen = append(seen, string(it.Key()))
+	}
+	if len(seen) != 2 || seen[0] != "c" || seen[1] != "a" {
+		t.Fatalf("backward scan = %v, want [c a]", seen)
+	}
+}
+
+func TestBackwardSnapshotVisibility(t *testing.T) {
+	db := openTest(t, Options{})
+	db.Put([]byte("k"), []byte("old"))
+	snap := db.NewSnapshot()
+	defer snap.Release()
+	db.Put([]byte("k"), []byte("new"))
+	db.Put([]byte("z"), []byte("after"))
+
+	it, err := snap.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Last() || string(it.Key()) != "k" || string(it.Value()) != "old" {
+		t.Fatalf("snapshot Last = %q/%q, want k/old", it.Key(), it.Value())
+	}
+	if it.Prev() {
+		t.Fatal("snapshot should contain only one key")
+	}
+}
+
+func TestForwardBackwardAgree(t *testing.T) {
+	db := openTest(t, smallOpts())
+	fillRandom(t, db, 1000, 40, 43)
+	it, err := db.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var fwd [][]byte
+	for ok := it.First(); ok; ok = it.Next() {
+		fwd = append(fwd, append([]byte(nil), it.Key()...))
+	}
+	var bwd [][]byte
+	for ok := it.Last(); ok; ok = it.Prev() {
+		bwd = append(bwd, append([]byte(nil), it.Key()...))
+	}
+	if len(fwd) != len(bwd) {
+		t.Fatalf("forward %d keys, backward %d", len(fwd), len(bwd))
+	}
+	for i := range fwd {
+		if !bytes.Equal(fwd[i], bwd[len(bwd)-1-i]) {
+			t.Fatalf("order disagrees at %d: %q vs %q", i, fwd[i], bwd[len(bwd)-1-i])
+		}
+	}
+}

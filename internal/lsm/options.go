@@ -1,0 +1,135 @@
+// Package lsm implements the LSM-tree key-value store the FCAE engine
+// integrates with: a LevelDB-like database with a WAL, skiplist memtables,
+// leveled SSTables and background flush/compaction workers. The compaction
+// execution backend is pluggable (paper Fig 1): the software executor is
+// the CPU baseline, the FCAE executor offloads merges to the simulated
+// FPGA card.
+package lsm
+
+import (
+	"fcae/internal/compaction"
+	"fcae/internal/manifest"
+	"fcae/internal/sstable"
+)
+
+// Options configure a DB. The zero value plus a directory is usable; the
+// defaults mirror the paper's LevelDB settings (Table IV).
+type Options struct {
+	// MemTableBytes is the write buffer size before a flush is scheduled.
+	MemTableBytes int64
+	// BlockSize is the SSTable data block size (Table IV: 4 KiB default,
+	// swept 2 KiB - 1 MiB in Fig 15c).
+	BlockSize int
+	// RestartInterval for data blocks.
+	RestartInterval int
+	// Compression selects per-block compression (snappy by default).
+	Compression sstable.Compression
+	// DisableCompression turns snappy off.
+	DisableCompression bool
+	// FilterBitsPerKey attaches bloom filters to tables (10 by default,
+	// 0 < disables via DisableFilter).
+	FilterBitsPerKey int
+	// DisableFilter turns bloom filters off.
+	DisableFilter bool
+	// BlockCacheBytes bounds the shared block cache (default 8 MiB).
+	BlockCacheBytes int64
+	// LevelRatio is Size(L_{i+1})/Size(L_i) (Table IV: default 10,
+	// range [4,16]).
+	LevelRatio int
+	// BaseLevelBytes is L1's byte budget (default 10 MiB).
+	BaseLevelBytes uint64
+	// MaxOutputFileBytes caps compaction output tables (default 2 MiB,
+	// the paper's SSTable threshold).
+	MaxOutputFileBytes uint64
+	// L0CompactionTrigger schedules an L0 merge at this file count.
+	L0CompactionTrigger int
+	// TieredRuns, when > 0, switches levels >= 1 to tiered (lazy)
+	// compaction: up to TieredRuns overlapping sorted runs accumulate per
+	// level before a full-level merge pushes one combined run down. This
+	// is the write-optimized scheme (SifrDB, PebblesDB) whose multi-run
+	// merges motivate the paper's 9-input engine (§VII-C).
+	TieredRuns int
+	// L0SlowdownTrigger throttles writes at this L0 file count.
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writes at this L0 file count.
+	L0StopTrigger int
+	// Executor performs compaction merges; nil selects the software
+	// executor (compaction.CPU). Jobs whose fan-in exceeds
+	// Executor.MaxRuns fall back to software, the paper's §VI-A rule.
+	Executor compaction.Executor
+	// SyncWrites fsyncs the WAL on every commit.
+	SyncWrites bool
+	// SkiplistSeed fixes memtable randomness for reproducible tests.
+	SkiplistSeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemTableBytes <= 0 {
+		o.MemTableBytes = 4 << 20
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 4096
+	}
+	if o.RestartInterval <= 0 {
+		o.RestartInterval = 16
+	}
+	if o.Compression == 0 && !o.DisableCompression {
+		o.Compression = sstable.SnappyCompression
+	}
+	if o.DisableCompression {
+		o.Compression = sstable.NoCompression
+	}
+	if o.FilterBitsPerKey <= 0 && !o.DisableFilter {
+		o.FilterBitsPerKey = 10
+	}
+	if o.DisableFilter {
+		o.FilterBitsPerKey = 0
+	}
+	if o.BlockCacheBytes <= 0 {
+		o.BlockCacheBytes = 8 << 20
+	}
+	if o.LevelRatio <= 0 {
+		o.LevelRatio = 10
+	}
+	if o.BaseLevelBytes == 0 {
+		o.BaseLevelBytes = 10 << 20
+	}
+	if o.MaxOutputFileBytes == 0 {
+		o.MaxOutputFileBytes = 2 << 20
+	}
+	if o.L0CompactionTrigger <= 0 {
+		o.L0CompactionTrigger = 4
+	}
+	if o.L0SlowdownTrigger <= 0 {
+		o.L0SlowdownTrigger = 8
+	}
+	if o.L0StopTrigger <= 0 {
+		o.L0StopTrigger = 12
+	}
+	if o.Executor == nil {
+		o.Executor = compaction.CPU{}
+	}
+	if o.SkiplistSeed == 0 {
+		o.SkiplistSeed = 0xfcae
+	}
+	return o
+}
+
+func (o Options) tableOpts() sstable.Options {
+	return sstable.Options{
+		BlockSize:        o.BlockSize,
+		RestartInterval:  o.RestartInterval,
+		Compression:      o.Compression,
+		FilterBitsPerKey: o.FilterBitsPerKey,
+	}
+}
+
+func (o Options) manifestConfig() manifest.Config {
+	return manifest.Config{
+		LevelRatio:          o.LevelRatio,
+		BaseLevelBytes:      o.BaseLevelBytes,
+		L0CompactionTrigger: o.L0CompactionTrigger,
+		MaxOutputFileBytes:  o.MaxOutputFileBytes,
+		TieredRuns:          o.TieredRuns,
+	}
+}

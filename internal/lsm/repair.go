@@ -1,0 +1,144 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+
+	"fcae/internal/keys"
+	"fcae/internal/manifest"
+	"fcae/internal/sstable"
+)
+
+// Repair rebuilds a database whose MANIFEST/CURRENT metadata is lost or
+// corrupt, from the table files alone: every readable .ldb file is scanned
+// for its key range and entry sequences and re-registered as its own
+// sorted run at level 0... conceptually; since L0 is capped, files are
+// placed at level 1 as individual runs (tiered layout), which preserves
+// correctness because sequence numbers order overlapping entries and the
+// read path probes runs newest-first. Unreadable tables are renamed aside
+// with a .corrupt suffix. WAL files are left in place and replayed by the
+// next Open.
+//
+// Limitation (shared with LevelDB's RepairDB): recency across recovered
+// tables is approximated by file number, so when multiple tables hold
+// versions of the same user key, an overwrite performed shortly before a
+// compaction of much older data can surface the older version. Sequence
+// numbers inside each table are preserved exactly.
+func Repair(dir string, opts Options) error {
+	opts = opts.withDefaults()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+
+	type tbl struct {
+		num      uint64
+		size     int64
+		smallest []byte
+		largest  []byte
+		maxSeq   uint64
+	}
+	var tables []tbl
+	var maxNum uint64
+
+	for _, e := range entries {
+		kind, num := parseFileName(e.Name())
+		switch kind {
+		case kindManifest, kindCurrent:
+			// Discard old metadata; it is being rebuilt.
+			os.Remove(dir + "/" + e.Name())
+			continue
+		case kindWAL:
+			if num > maxNum {
+				maxNum = num
+			}
+			continue
+		case kindTable:
+		default:
+			continue
+		}
+		if num > maxNum {
+			maxNum = num
+		}
+		t, err := scanTable(dir, num, opts)
+		if err != nil {
+			// Quarantine the unreadable table rather than losing data
+			// silently or blocking recovery.
+			os.Rename(tablePath(dir, num), tablePath(dir, num)+".corrupt")
+			continue
+		}
+		tables = append(tables, tbl{num, t.size, t.smallest, t.largest, t.maxSeq})
+	}
+
+	vs, err := manifest.Open(dir, opts.manifestConfig())
+	if err != nil {
+		return err
+	}
+	defer vs.Close()
+
+	edit := &manifest.VersionEdit{}
+	var lastSeq uint64
+	for _, t := range tables {
+		// Each recovered table becomes its own sorted run; RunID follows
+		// recency (file number), so newer tables shadow older ones.
+		edit.AddFile(1, &manifest.FileMetadata{
+			Num:      t.num,
+			Size:     uint64(t.size),
+			RunID:    t.num,
+			Smallest: t.smallest,
+			Largest:  t.largest,
+		})
+		if t.maxSeq > lastSeq {
+			lastSeq = t.maxSeq
+		}
+	}
+	edit.SetLastSeq(lastSeq)
+	edit.SetNextFileNum(maxNum + 1)
+	if err := vs.LogAndApply(edit); err != nil {
+		return fmt.Errorf("lsm: repair: %w", err)
+	}
+	return nil
+}
+
+type scannedTable struct {
+	size     int64
+	smallest []byte
+	largest  []byte
+	maxSeq   uint64
+}
+
+// scanTable validates a table file end to end and extracts its bounds.
+func scanTable(dir string, num uint64, opts Options) (*scannedTable, error) {
+	f, err := os.Open(tablePath(dir, num))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	r, err := sstable.NewReader(f, st.Size(), opts.tableOpts(), nil, num)
+	if err != nil {
+		return nil, err
+	}
+	it := r.NewIterator()
+	out := &scannedTable{size: st.Size()}
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if out.smallest == nil {
+			out.smallest = append([]byte(nil), it.Key()...)
+		}
+		out.largest = append(out.largest[:0], it.Key()...)
+		if seq, _ := keys.DecodeTrailer(it.Key()); seq > out.maxSeq {
+			out.maxSeq = seq
+		}
+	}
+	if err := it.Error(); err != nil {
+		return nil, err
+	}
+	if out.smallest == nil {
+		return nil, fmt.Errorf("lsm: table %06d is empty", num)
+	}
+	out.largest = append([]byte(nil), out.largest...)
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package lsm
+
+import (
+	"container/list"
+	"os"
+	"sync"
+
+	"fcae/internal/cache"
+	"fcae/internal/sstable"
+)
+
+// tableCache keeps open table readers, bounded by an LRU on file handles.
+type tableCache struct {
+	mu       sync.Mutex
+	dir      string
+	opts     sstable.Options
+	block    *cache.Cache
+	capacity int
+	entries  map[uint64]*tcEntry
+	lru      *list.List // front = MRU; values are *tcEntry
+}
+
+type tcEntry struct {
+	num    uint64
+	f      *os.File
+	reader *sstable.Reader
+	elem   *list.Element
+}
+
+func newTableCache(dir string, opts sstable.Options, block *cache.Cache, capacity int) *tableCache {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &tableCache{
+		dir:      dir,
+		opts:     opts,
+		block:    block,
+		capacity: capacity,
+		entries:  make(map[uint64]*tcEntry),
+		lru:      list.New(),
+	}
+}
+
+// get returns an open reader for table num, opening it on demand.
+func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if e, ok := tc.entries[num]; ok {
+		tc.lru.MoveToFront(e.elem)
+		return e.reader, nil
+	}
+	f, err := os.Open(tablePath(tc.dir, num))
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := sstable.NewReader(f, st.Size(), tc.opts, tc.block, num)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	e := &tcEntry{num: num, f: f, reader: r}
+	e.elem = tc.lru.PushFront(e)
+	tc.entries[num] = e
+	for len(tc.entries) > tc.capacity {
+		tail := tc.lru.Back()
+		tc.evictLocked(tail.Value.(*tcEntry))
+	}
+	return r, nil
+}
+
+// evict drops the cached reader for num (after the file is deleted).
+func (tc *tableCache) evict(num uint64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if e, ok := tc.entries[num]; ok {
+		tc.evictLocked(e)
+	}
+	if tc.block != nil {
+		tc.block.EvictFile(num)
+	}
+}
+
+func (tc *tableCache) evictLocked(e *tcEntry) {
+	tc.lru.Remove(e.elem)
+	delete(tc.entries, e.num)
+	e.f.Close()
+}
+
+// close releases every handle.
+func (tc *tableCache) close() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, e := range tc.entries {
+		e.f.Close()
+	}
+	tc.entries = make(map[uint64]*tcEntry)
+	tc.lru.Init()
+}

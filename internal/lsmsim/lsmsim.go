@@ -1,0 +1,624 @@
+// Package lsmsim models the whole key-value store on a virtual clock for
+// the paper's end-to-end experiments (Figs 10, 14, 15, 16; Tables VI and
+// VIII). It reproduces the contention the paper measures — foreground
+// writes vs background flush and compaction, write stalls, the FPGA
+// offload freeing the host core — at data sizes (up to 1 TB) that would be
+// impractical to materialize. The timing constants come from
+// internal/model and the engine pipeline model in internal/core.
+package lsmsim
+
+import (
+	"time"
+
+	"fcae/internal/core"
+	"fcae/internal/model"
+	"fcae/internal/sim"
+)
+
+// Backend selects the compaction execution engine.
+type Backend int
+
+const (
+	// BackendCPU is the software baseline: original LevelDB with two host
+	// cores (paper §VII-A: "LevelDB runs with 2 CPU cores").
+	BackendCPU Backend = iota
+	// BackendFCAE offloads merges to the engine: one host core plus the
+	// FPGA card ("LevelDB-FCAE runs with 1 CPU core + FPGA card").
+	BackendFCAE
+)
+
+func (b Backend) String() string {
+	if b == BackendFCAE {
+		return "LevelDB-FCAE"
+	}
+	return "LevelDB"
+}
+
+// Config parameterizes one simulated run; zero fields take the paper's
+// defaults (Table IV).
+type Config struct {
+	KeyLen    int   // user key bytes (default 16)
+	ValueLen  int   // value bytes (default 128)
+	DataBytes int64 // total payload to write
+
+	MemTableBytes  int64
+	BlockSize      int
+	LevelRatio     int
+	BaseLevelBytes int64
+	FileBytes      int64 // compaction output table size (2 MiB)
+
+	L0Trigger  int
+	L0Slowdown int
+	L0Stop     int
+
+	Backend Backend
+	Engine  core.Config // engine configuration for BackendFCAE
+
+	// DiskCompression is the on-disk bytes per payload byte after snappy
+	// (db_bench's synthetic values compress about 2:1; set 1.0 for
+	// incompressible data). Affects table sizes, disk and PCIe traffic.
+	DiskCompression float64
+
+	// SerializeFlush forces flushes to wait for the running engine
+	// compaction, disabling the paper's §VI-A overlap optimization
+	// (ablation only; meaningful for BackendFCAE).
+	SerializeFlush bool
+
+	// Placement locates the engine for BackendFCAE: the paper's
+	// PCIe-attached card (default), or embedded in the SSD controller —
+	// the §VII-E near-storage direction (see nearstorage.go).
+	Placement Placement
+
+	// TieredRuns, when > 0, models tiered (lazy) compaction: each level
+	// accumulates up to TieredRuns sorted runs before a full-level merge
+	// pushes one run down (§VII-C). Tiered merges have run-count fan-in,
+	// so engines with small N fall back to software more often.
+	TieredRuns int
+
+	// OverlapCPUFlush gives the CPU backend's flushes their own core
+	// instead of LevelDB's single background thread (ablation only:
+	// quantifies how much of the FCAE schedule benefit comes from
+	// overlapping flushes with long software merges).
+	OverlapCPUFlush bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyLen <= 0 {
+		c.KeyLen = 16
+	}
+	if c.ValueLen <= 0 {
+		c.ValueLen = 128
+	}
+	if c.DataBytes <= 0 {
+		c.DataBytes = 1 << 30
+	}
+	if c.MemTableBytes <= 0 {
+		c.MemTableBytes = 4 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.LevelRatio <= 0 {
+		c.LevelRatio = 10
+	}
+	if c.BaseLevelBytes <= 0 {
+		c.BaseLevelBytes = 10 << 20
+	}
+	if c.FileBytes <= 0 {
+		c.FileBytes = 2 << 20
+	}
+	if c.L0Trigger <= 0 {
+		c.L0Trigger = 4
+	}
+	if c.L0Slowdown <= 0 {
+		c.L0Slowdown = 8
+	}
+	if c.L0Stop <= 0 {
+		c.L0Stop = 12
+	}
+	if c.Engine.N == 0 {
+		c.Engine = core.MultiInputConfig()
+	}
+	if c.DiskCompression <= 0 {
+		c.DiskCompression = 0.5
+	}
+	return c
+}
+
+// entryBytes is the on-disk footprint of one entry: key + trailer + value
+// plus block format overheads (varint lengths, restarts, trailers).
+func (c Config) entryBytes() int64 {
+	overhead := 6 // varints + restart amortization
+	perBlock := c.BlockSize / (c.KeyLen + 8 + c.ValueLen + overhead)
+	if perBlock < 1 {
+		perBlock = 1
+	}
+	blockOverhead := (5 + 8) / perBlock // trailer + index entry share
+	return int64(c.KeyLen + 8 + c.ValueLen + overhead + blockOverhead)
+}
+
+// diskEntryBytes is the post-compression on-disk footprint of one entry.
+func (c Config) diskEntryBytes() int64 {
+	n := int64(float64(c.entryBytes()) * c.DiskCompression)
+	if n < int64(c.KeyLen+16) {
+		n = int64(c.KeyLen + 16)
+	}
+	return n
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Cfg        Config
+	Elapsed    time.Duration
+	Ops        int64
+	Throughput float64 // payload MB/s, the paper's write-throughput metric
+
+	Flushes       int64
+	Compactions   int64
+	HWCompactions int64
+	SWFallbacks   int64
+
+	BytesFlushed   int64
+	CompactionIn   int64
+	CompactionOut  int64
+	WriteAmp       float64
+	KernelTime     time.Duration
+	PCIeTime       time.Duration
+	PCIeBytes      int64
+	DiskTime       time.Duration
+	StallTime      time.Duration
+	SlowdownWrites int64
+	StopStalls     int64
+	MaxLevel       int
+}
+
+// state is one live simulation.
+type state struct {
+	cfg       Config
+	sim       *sim.Sim
+	entry     int64
+	diskEntry int64
+
+	remaining int64 // client operations still to run
+	total     int64
+
+	// Mixed-workload shaping (YCSB): writeFrac of operations are writes;
+	// extraPerOp is the expected read-side cost per operation.
+	writeFrac  float64
+	extraPerOp time.Duration
+
+	mem        int64
+	immBytes   int64 // immutable memtable being flushed (0 = none)
+	l0         []int64
+	levels     [8]int64
+	runs       [8]int // sorted runs per level (tiered mode)
+	maxLevel   int
+	writerBusy bool
+	writerWait bool // blocked on flush/compaction completion
+
+	// hostBusyUntil is when the shared host core's background work (flush,
+	// software-fallback compaction) finishes, for the FCAE backend where
+	// the writer shares that core.
+	hostBusyUntil time.Duration
+
+	// bgBusy marks the LevelDB background thread (flush+compaction
+	// serialized on the second core).
+	bgBusy  bool
+	bgQueue []bgTask
+
+	compacting bool
+
+	// pendingFlush holds a deferred flush when SerializeFlush is set.
+	pendingFlush func()
+
+	res Result
+}
+
+type bgTask struct {
+	dur  time.Duration
+	done func()
+}
+
+const writerChunk = 2048 // entries simulated per writer event
+
+// readDisturbFactor is the extra read cost while a compaction is running
+// (device contention and cache churn).
+const readDisturbFactor = 0.35
+
+// overlapFactor scales the size-proportional next-level overlap of a
+// compaction: the compact pointer rotates through the key space, so the
+// average merge sees less than the full proportional share. Calibrated
+// against Table VI's LevelDB column together with the live CPU cost model.
+const overlapFactor = 0.6
+
+// RunFill simulates a db_bench-style random-load: a single client writing
+// DataBytes of key-value payload as fast as the store admits, returning
+// end-to-end statistics. This is the workload behind Table VI and Figs
+// 10, 14 and 15.
+func RunFill(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	s := &state{cfg: cfg, sim: &sim.Sim{}, entry: cfg.entryBytes(), diskEntry: cfg.diskEntryBytes(), writeFrac: 1}
+	s.total = cfg.DataBytes / int64(cfg.KeyLen+cfg.ValueLen)
+	if s.total < 1 {
+		s.total = 1
+	}
+	s.remaining = s.total
+	s.res.Cfg = cfg
+	s.res.Ops = s.total
+
+	s.writerStep()
+	s.sim.Run()
+
+	s.res.Elapsed = s.sim.Now()
+	if s.res.Elapsed > 0 {
+		s.res.Throughput = float64(cfg.DataBytes) / s.res.Elapsed.Seconds() / 1e6
+	}
+	if s.res.BytesFlushed > 0 {
+		s.res.WriteAmp = float64(s.res.BytesFlushed+s.res.CompactionOut) / float64(s.res.BytesFlushed)
+	}
+	s.res.MaxLevel = s.maxLevel
+	return s.res
+}
+
+// writerStep runs the foreground client state machine.
+func (s *state) writerStep() {
+	if s.writerBusy || s.remaining <= 0 {
+		return
+	}
+	// Stall rules (paper §I / LevelDB's MakeRoomForWrite).
+	memFull := s.mem >= s.cfg.MemTableBytes
+	switch {
+	case len(s.l0) >= s.cfg.L0Stop, memFull && s.immBytes > 0:
+		// Hard stop: wait for background progress.
+		if !s.writerWait {
+			s.writerWait = true
+			s.res.StopStalls++
+		}
+		return
+	case memFull:
+		// Rotate memtables and schedule the flush.
+		s.immBytes = s.mem
+		s.mem = 0
+		s.scheduleFlush()
+		// fall through to keep writing into the fresh memtable
+	}
+
+	n := s.remaining
+	if n > writerChunk {
+		n = writerChunk
+	}
+	if s.writeFrac > 0 {
+		until := (s.cfg.MemTableBytes - s.mem + s.entry - 1) / s.entry
+		until = int64(float64(until) / s.writeFrac)
+		if until < 1 {
+			until = 1
+		}
+		if n > until {
+			n = until
+		}
+	}
+
+	writes := int64(float64(n) * s.writeFrac)
+	dur := time.Duration(writes)*model.WriteTime(s.cfg.KeyLen+s.cfg.ValueLen) +
+		time.Duration(n)*s.extraPerOp
+	// Reads are disturbed while a compaction churns the device and the
+	// caches; the slower software merges disturb for longer.
+	if s.extraPerOp > 0 && s.compacting {
+		dur += time.Duration(float64(n) * float64(s.extraPerOp) * readDisturbFactor)
+	}
+	// With one shared host core (FCAE), the writer runs at half speed
+	// while background CPU work overlaps (processor sharing): only the
+	// overlapping window is charged twice.
+	if s.cfg.Backend == BackendFCAE && s.hostBusyUntil > s.sim.Now() {
+		window := s.hostBusyUntil - s.sim.Now()
+		if dur <= window {
+			// Entirely inside the busy window: half speed throughout.
+			dur *= 2
+		} else {
+			// Half speed during the window costs half the window extra.
+			dur += window / 2
+		}
+	}
+	// Slowdown trigger: LevelDB sleeps 1ms per write while L0 backs up.
+	if len(s.l0) >= s.cfg.L0Slowdown {
+		dur += time.Duration(n) * time.Millisecond
+		s.res.StallTime += time.Duration(n) * time.Millisecond
+		s.res.SlowdownWrites += n
+	}
+
+	s.writerBusy = true
+	s.sim.After(dur, func() {
+		s.writerBusy = false
+		s.mem += writes * s.entry
+		s.remaining -= n
+		s.writerStep()
+	})
+}
+
+// wakeWriter resumes a stalled client after background progress.
+func (s *state) wakeWriter() {
+	if s.writerWait {
+		s.writerWait = false
+		s.writerStep()
+	}
+}
+
+// flushDuration models dumping one memtable to an L0 table: CPU encode
+// plus the sequential device write.
+func (s *state) flushDuration(memBytes int64) (cpu, disk time.Duration) {
+	entries := memBytes / s.entry
+	cpu = time.Duration(entries) * model.FlushPerEntry(s.cfg.KeyLen+8, s.cfg.ValueLen)
+	disk = model.DiskWriteTime(entries * s.diskEntry)
+	s.res.DiskTime += disk
+	return cpu, disk
+}
+
+// scheduleFlush queues the immutable memtable flush on the appropriate
+// core: the LevelDB background thread, or the shared host core for FCAE
+// (where it overlaps with engine compactions, paper §VI-A).
+func (s *state) scheduleFlush() {
+	memBytes := s.immBytes
+	diskBytes := memBytes / s.entry * s.diskEntry
+	cpu, disk := s.flushDuration(memBytes)
+	finish := func() {
+		s.l0 = append(s.l0, diskBytes)
+		s.immBytes = 0
+		s.res.Flushes++
+		s.res.BytesFlushed += diskBytes
+		s.wakeWriter()
+		s.maybeCompact()
+	}
+	if s.cfg.Backend == BackendCPU {
+		if s.cfg.OverlapCPUFlush {
+			// Ablation: flush on its own core, overlapping the merge.
+			s.sim.After(cpu+disk, finish)
+			return
+		}
+		s.enqueueBG(bgTask{dur: cpu + disk, done: finish})
+		return
+	}
+	// Shared host core: the flush's CPU part runs at half speed against
+	// the writer; the disk part overlaps freely.
+	start := func() {
+		dur := 2*cpu + disk
+		s.noteHostBusy(dur)
+		s.sim.After(dur, finish)
+	}
+	if s.cfg.SerializeFlush && s.compacting {
+		// Ablation: the paper's "default schedule" pauses the flush while
+		// a merge compaction runs (§VI-A).
+		s.pendingFlush = start
+		return
+	}
+	start()
+}
+
+// noteHostBusy extends the shared core's busy window.
+func (s *state) noteHostBusy(d time.Duration) {
+	if until := s.sim.Now() + d; until > s.hostBusyUntil {
+		s.hostBusyUntil = until
+	}
+}
+
+// enqueueBG serializes flush and compaction on LevelDB's single background
+// thread; flushes are appended like compactions but the queue is short.
+func (s *state) enqueueBG(t bgTask) {
+	s.bgQueue = append(s.bgQueue, t)
+	s.pumpBG()
+}
+
+func (s *state) pumpBG() {
+	if s.bgBusy || len(s.bgQueue) == 0 {
+		return
+	}
+	t := s.bgQueue[0]
+	s.bgQueue = s.bgQueue[1:]
+	s.bgBusy = true
+	s.sim.After(t.dur, func() {
+		s.bgBusy = false
+		t.done()
+		s.pumpBG()
+	})
+}
+
+// compactionJob describes one picked merge.
+type compactionJob struct {
+	level    int
+	inBytes  int64
+	outBytes int64
+	runs     int
+	apply    func()
+}
+
+// pick selects the most urgent compaction, mirroring the real store's
+// score rule.
+func (s *state) pick() *compactionJob {
+	if s.cfg.TieredRuns > 0 {
+		return s.pickTiered()
+	}
+	bestLevel, bestScore := -1, 0.0
+	if sc := float64(len(s.l0)) / float64(s.cfg.L0Trigger); sc >= 1 && sc > bestScore {
+		bestLevel, bestScore = 0, sc
+	}
+	for level := 1; level < 7; level++ {
+		max := s.maxBytes(level)
+		if sc := float64(s.levels[level]) / float64(max); sc >= 1 && sc > bestScore {
+			bestLevel, bestScore = level, sc
+		}
+	}
+	switch {
+	case bestLevel < 0:
+		return nil
+	case bestLevel == 0:
+		var l0Bytes int64
+		for _, f := range s.l0 {
+			l0Bytes += f
+		}
+		// Random keys: every L0 file spans the key space, so the merge
+		// rewrites all of L1 (paper §VII-C: "eight SSTables on Level 0 and
+		// Level 1 are involved ... in most cases").
+		overlap := s.levels[1]
+		runs := len(s.l0)
+		if overlap > 0 {
+			runs++
+		}
+		in := l0Bytes + overlap
+		return &compactionJob{level: 0, inBytes: in, outBytes: in, runs: runs, apply: func() {
+			s.l0 = s.l0[:0]
+			s.levels[1] += l0Bytes
+			if s.maxLevel < 1 {
+				s.maxLevel = 1
+			}
+		}}
+	default:
+		level := bestLevel
+		file := s.cfg.FileBytes
+		if file > s.levels[level] {
+			file = s.levels[level]
+		}
+		// Expected overlap of one file with the next level: the file spans
+		// file/levels[level] of the key space, so it overlaps that share
+		// of the next level's bytes (≈ half the worst-case ratio+1 files
+		// once both levels are at their steady-state ratio, since the
+		// compact pointer rotates through the key space).
+		overlap := s.levels[level+1]
+		if s.levels[level] > file {
+			overlap = int64(float64(s.levels[level+1]) * float64(file) / float64(s.levels[level]) * overlapFactor)
+			overlap += s.cfg.FileBytes / 2 // boundary effect
+		}
+		if overlap > s.levels[level+1] {
+			overlap = s.levels[level+1]
+		}
+		in := file + overlap
+		return &compactionJob{level: level, inBytes: in, outBytes: in, runs: 2, apply: func() {
+			s.levels[level] -= file
+			s.levels[level+1] += file
+			if s.maxLevel < level+1 {
+				s.maxLevel = level + 1
+			}
+		}}
+	}
+}
+
+// pickTiered models full-level lazy merges: a level's runs combine into
+// one run at the next level once the run count reaches the threshold.
+// Each merge reads and writes only the level's own bytes — the
+// write-amplification saving of tiering.
+func (s *state) pickTiered() *compactionJob {
+	bestLevel, bestScore := -1, 0.0
+	if sc := float64(len(s.l0)) / float64(s.cfg.L0Trigger); sc >= 1 {
+		bestLevel, bestScore = 0, sc
+	}
+	for level := 1; level < 7; level++ {
+		if sc := float64(s.runs[level]) / float64(s.cfg.TieredRuns); sc >= 1 && sc > bestScore {
+			bestLevel, bestScore = level, sc
+		}
+	}
+	if bestLevel < 0 {
+		return nil
+	}
+	if bestLevel == 0 {
+		var l0Bytes int64
+		for _, f := range s.l0 {
+			l0Bytes += f
+		}
+		nRuns := len(s.l0)
+		return &compactionJob{level: 0, inBytes: l0Bytes, outBytes: l0Bytes, runs: nRuns, apply: func() {
+			s.l0 = s.l0[:0]
+			s.levels[1] += l0Bytes
+			s.runs[1]++
+			if s.maxLevel < 1 {
+				s.maxLevel = 1
+			}
+		}}
+	}
+	level := bestLevel
+	bytes := s.levels[level]
+	nRuns := s.runs[level]
+	out := level + 1
+	if out > 6 {
+		out = 6 // deepest level rewrites in place
+	}
+	return &compactionJob{level: level, inBytes: bytes, outBytes: bytes, runs: nRuns, apply: func() {
+		s.levels[level] -= bytes
+		s.runs[level] -= nRuns
+		s.levels[out] += bytes
+		s.runs[out]++
+		if s.maxLevel < out {
+			s.maxLevel = out
+		}
+	}}
+}
+
+func (s *state) maxBytes(level int) int64 {
+	b := s.cfg.BaseLevelBytes
+	for l := 1; l < level; l++ {
+		b *= int64(s.cfg.LevelRatio)
+	}
+	return b
+}
+
+// maybeCompact starts the next compaction when one is due and none is
+// running (the store runs one merge at a time).
+func (s *state) maybeCompact() {
+	if s.compacting {
+		return
+	}
+	job := s.pick()
+	if job == nil {
+		return
+	}
+	s.compacting = true
+	s.res.Compactions++
+	s.res.CompactionIn += job.inBytes
+	s.res.CompactionOut += job.outBytes
+
+	pairs := job.inBytes / s.diskEntry
+
+	finish := func() {
+		s.compacting = false
+		job.apply()
+		if s.pendingFlush != nil {
+			start := s.pendingFlush
+			s.pendingFlush = nil
+			start()
+		}
+		s.wakeWriter()
+		s.maybeCompact()
+	}
+
+	useHW := s.cfg.Backend == BackendFCAE && job.runs <= s.cfg.Engine.N
+	if useHW {
+		// Offloaded merge: data staging + kernel; the host core stays
+		// free for flushes (paper §VI-A).
+		kernel := time.Duration(float64(pairs) * s.cfg.Engine.BottleneckPeriod(s.cfg.KeyLen+8, s.cfg.ValueLen) / s.cfg.Engine.ClockHz * float64(time.Second))
+		total, transfer := s.compactionDeviceTime(job.inBytes, job.outBytes, kernel)
+		s.res.HWCompactions++
+		s.res.KernelTime += kernel
+		s.res.PCIeTime += transfer
+		s.res.PCIeBytes += job.inBytes + job.outBytes
+		s.sim.After(total, finish)
+		return
+	}
+	// Software merge on the CPU.
+	disk := model.DiskReadTime(job.inBytes) + model.DiskWriteTime(job.outBytes)
+	s.res.DiskTime += disk
+	cpu := time.Duration(pairs) * model.CPULivePairTime(s.cfg.KeyLen+8, s.cfg.ValueLen, job.runs)
+	dur := cpu + disk
+	if s.cfg.Backend == BackendCPU {
+		s.enqueueBG(bgTask{dur: dur, done: func() {
+			s.compacting = false
+			job.apply()
+			s.wakeWriter()
+			s.maybeCompact()
+		}})
+		// s.compacting stays true until the task runs; finish duplicated
+		// to keep the queue semantics explicit.
+		return
+	}
+	// FCAE fallback: runs on the shared host core at half speed.
+	s.res.SWFallbacks++
+	dur = 2*cpu + disk
+	s.noteHostBusy(dur)
+	s.sim.After(dur, finish)
+}

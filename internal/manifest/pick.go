@@ -1,0 +1,301 @@
+package manifest
+
+import (
+	"fcae/internal/keys"
+)
+
+// Compaction describes one merge job: the files consumed from Level and
+// Level+1 and the bookkeeping needed to install the result. It is exactly
+// the unit the paper's host scheduler offloads to the FPGA (paper §IV
+// steps 1-3); NumInputs tells the scheduler whether the job fits the
+// engine's N-input limit (paper §VI-A).
+type Compaction struct {
+	Level  int
+	Inputs [2][]*FileMetadata // Inputs[0] from Level, Inputs[1] from Level+1
+	Cfg    Config
+
+	// Tiered marks a full-level tiered merge: all runs of Level combine
+	// into ONE fresh run at OutputLevel(), without touching the next
+	// level's existing runs (the lazy part).
+	Tiered bool
+
+	// SmallestUser / LargestUser bound the union of all inputs.
+	SmallestUser []byte
+	LargestUser  []byte
+
+	// grandparents are level+2 files overlapping the output range, used to
+	// cut output tables before they overlap too much of level+2.
+	grandparents []*FileMetadata
+}
+
+// NumInputFiles returns the total file count consumed.
+func (c *Compaction) NumInputFiles() int { return len(c.Inputs[0]) + len(c.Inputs[1]) }
+
+// NumInputs returns the number of sorted runs feeding the merge: at level
+// 0 every file is its own run (key ranges may overlap); a leveled deeper
+// level contributes a single concatenated run (paper §IV step 2); a tiered
+// level contributes one run per RunID group.
+func (c *Compaction) NumInputs() int {
+	n := 0
+	switch {
+	case c.Level == 0:
+		n = len(c.Inputs[0])
+	case c.Tiered:
+		n = len(RunGroupsOf(c.Inputs[0]))
+	case len(c.Inputs[0]) > 0:
+		n = 1
+	}
+	if len(c.Inputs[1]) > 0 {
+		n++
+	}
+	return n
+}
+
+// OutputLevel is where the merge's output tables land: Level+1, except a
+// tiered merge of the deepest level, which rewrites in place.
+func (c *Compaction) OutputLevel() int {
+	if c.Tiered && c.Level == NumLevels-1 {
+		return c.Level
+	}
+	return c.Level + 1
+}
+
+// RunGroupsOf groups files (sorted by RunID, Smallest — version storage
+// order) into their sorted runs, oldest first.
+func RunGroupsOf(files []*FileMetadata) [][]*FileMetadata {
+	if len(files) == 0 {
+		return nil
+	}
+	var groups [][]*FileMetadata
+	start := 0
+	for i := 1; i <= len(files); i++ {
+		if i == len(files) || files[i].RunID != files[start].RunID {
+			groups = append(groups, files[start:i])
+			start = i
+		}
+	}
+	return groups
+}
+
+// InputBytes returns the total input size.
+func (c *Compaction) InputBytes() uint64 {
+	var n uint64
+	for _, side := range c.Inputs {
+		for _, f := range side {
+			n += f.Size
+		}
+	}
+	return n
+}
+
+// IsTrivialMove reports whether the job can be satisfied by re-linking a
+// single input file into the next level without rewriting it.
+func (c *Compaction) IsTrivialMove() bool {
+	if len(c.Inputs[0]) != 1 || len(c.Inputs[1]) != 0 {
+		return false
+	}
+	// Avoid moving a file that overlaps too many grandparent bytes, which
+	// would make a future compaction at level+1 expensive.
+	var overlap uint64
+	for _, f := range c.grandparents {
+		overlap += f.Size
+	}
+	return overlap <= 10*c.Cfg.MaxOutputFileBytes
+}
+
+// IsBottomLevel reports whether no data deeper than the merge's output can
+// hold older versions of its keys, allowing tombstones to be dropped. A
+// tiered merge must also treat the output level's other, unconsumed runs
+// as "deeper": a dropped tombstone would resurrect their entries.
+func (c *Compaction) IsBottomLevel(v *Version) bool {
+	if c.Tiered {
+		inputs := make(map[uint64]bool, len(c.Inputs[0]))
+		for _, f := range c.Inputs[0] {
+			inputs[f.Num] = true
+		}
+		for level := c.OutputLevel(); level < NumLevels; level++ {
+			for _, f := range v.Levels[level] {
+				if inputs[f.Num] {
+					continue
+				}
+				if fileRangeOverlaps(f, c.SmallestUser, c.LargestUser) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for level := c.Level + 2; level < NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			if fileRangeOverlaps(f, c.SmallestUser, c.LargestUser) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PickCompaction selects the most urgent compaction in v, or nil when no
+// level needs work. Size-triggered compactions take priority; the
+// compactPointers rotate through each level's key space so work spreads
+// evenly.
+func (vs *VersionSet) PickCompaction() *Compaction {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v := vs.current
+
+	if vs.cfg.TieredRuns > 0 {
+		return vs.pickTiered(v)
+	}
+	bestLevel, bestScore := -1, 0.0
+	for level := 0; level < NumLevels-1; level++ {
+		var score float64
+		if level == 0 {
+			score = float64(len(v.Levels[0])) / float64(vs.cfg.L0CompactionTrigger)
+		} else {
+			score = float64(v.LevelBytes(level)) / float64(vs.cfg.MaxBytes(level))
+		}
+		if score > bestScore {
+			bestLevel, bestScore = level, score
+		}
+	}
+	if bestScore < 1.0 {
+		return nil
+	}
+	return vs.buildCompaction(v, bestLevel)
+}
+
+// pickTiered selects a full-level merge when a level's run count reaches
+// the tiering threshold. L0 keeps its file-count trigger.
+func (vs *VersionSet) pickTiered(v *Version) *Compaction {
+	bestLevel, bestScore := -1, 0.0
+	if sc := float64(len(v.Levels[0])) / float64(vs.cfg.L0CompactionTrigger); sc > bestScore {
+		bestLevel, bestScore = 0, sc
+	}
+	for level := 1; level < NumLevels; level++ {
+		sc := float64(v.NumRuns(level)) / float64(vs.cfg.TieredRuns)
+		if sc > bestScore {
+			bestLevel, bestScore = level, sc
+		}
+	}
+	if bestScore < 1.0 {
+		return nil
+	}
+	c := &Compaction{Level: bestLevel, Cfg: vs.cfg, Tiered: bestLevel > 0}
+	if bestLevel == 0 {
+		// L0 merge: all files, pushed as one run into L1; L1's existing
+		// runs are left alone.
+		c.Inputs[0] = append([]*FileMetadata(nil), v.Levels[0]...)
+		c.Tiered = true
+	} else {
+		c.Inputs[0] = append([]*FileMetadata(nil), v.Levels[bestLevel]...)
+	}
+	c.SmallestUser, c.LargestUser = inputUserRange(c.Inputs[0])
+	return c
+}
+
+// PickCompactionAtLevel forces a compaction at the given level, used by
+// manual compaction and tests. Returns nil if the level is empty.
+func (vs *VersionSet) PickCompactionAtLevel(level int) *Compaction {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v := vs.current
+	if len(v.Levels[level]) == 0 {
+		return nil
+	}
+	if vs.cfg.TieredRuns > 0 {
+		// Tiered mode always merges whole levels.
+		c := &Compaction{Level: level, Cfg: vs.cfg, Tiered: true}
+		c.Inputs[0] = append([]*FileMetadata(nil), v.Levels[level]...)
+		c.SmallestUser, c.LargestUser = inputUserRange(c.Inputs[0])
+		return c
+	}
+	return vs.buildCompaction(v, level)
+}
+
+func (vs *VersionSet) buildCompaction(v *Version, level int) *Compaction {
+	c := &Compaction{Level: level, Cfg: vs.cfg}
+
+	// Seed with the file after the compact pointer (round robin).
+	var seed *FileMetadata
+	ptr := vs.compactPointers[level]
+	for _, f := range v.Levels[level] {
+		if ptr == nil || keys.Compare(f.Largest, ptr) > 0 {
+			seed = f
+			break
+		}
+	}
+	if seed == nil {
+		seed = v.Levels[level][0]
+	}
+	c.Inputs[0] = []*FileMetadata{seed}
+
+	if level == 0 {
+		// Level 0 files may overlap each other: take the transitive set.
+		s, l := keys.UserKey(seed.Smallest), keys.UserKey(seed.Largest)
+		c.Inputs[0] = v.Overlapping(0, s, l)
+	}
+	vs.setupOtherInputs(v, c)
+	return c
+}
+
+// setupOtherInputs computes the level+1 inputs and optionally grows the
+// level inputs when doing so does not pull in more level+1 data.
+func (vs *VersionSet) setupOtherInputs(v *Version, c *Compaction) {
+	smallest, largest := inputUserRange(c.Inputs[0])
+	c.Inputs[1] = v.Overlapping(c.Level+1, smallest, largest)
+
+	allSmallest, allLargest := unionRange(smallest, largest, c.Inputs[1])
+
+	// Growth: see if more level files fit without expanding level+1.
+	if len(c.Inputs[1]) > 0 {
+		expanded0 := v.Overlapping(c.Level, allSmallest, allLargest)
+		if len(expanded0) > len(c.Inputs[0]) {
+			s1, l1 := inputUserRange(expanded0)
+			expanded1 := v.Overlapping(c.Level+1, s1, l1)
+			if len(expanded1) == len(c.Inputs[1]) {
+				c.Inputs[0] = expanded0
+				smallest, largest = s1, l1
+				allSmallest, allLargest = unionRange(smallest, largest, c.Inputs[1])
+			}
+		}
+	}
+	c.SmallestUser, c.LargestUser = allSmallest, allLargest
+	if c.Level+2 < NumLevels {
+		c.grandparents = v.Overlapping(c.Level+2, allSmallest, allLargest)
+	}
+}
+
+// inputUserRange returns the inclusive user-key bounds of files.
+func inputUserRange(files []*FileMetadata) (smallest, largest []byte) {
+	for _, f := range files {
+		fs, fl := keys.UserKey(f.Smallest), keys.UserKey(f.Largest)
+		if smallest == nil || keys.CompareUser(fs, smallest) < 0 {
+			smallest = fs
+		}
+		if largest == nil || keys.CompareUser(fl, largest) > 0 {
+			largest = fl
+		}
+	}
+	return smallest, largest
+}
+
+func unionRange(smallest, largest []byte, files []*FileMetadata) (s, l []byte) {
+	s, l = smallest, largest
+	fs, fl := inputUserRange(files)
+	if fs != nil && keys.CompareUser(fs, s) < 0 {
+		s = fs
+	}
+	if fl != nil && keys.CompareUser(fl, l) > 0 {
+		l = fl
+	}
+	return s, l
+}
+
+// RecordCompactPointer persists the resume point for level into edit.
+func (c *Compaction) RecordCompactPointer(edit *VersionEdit) {
+	if len(c.Inputs[0]) > 0 {
+		last := c.Inputs[0][len(c.Inputs[0])-1]
+		edit.SetCompactPointer(c.Level, last.Largest)
+	}
+}

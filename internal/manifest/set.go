@@ -1,0 +1,349 @@
+package manifest
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fcae/internal/crc"
+	"fcae/internal/keys"
+	"fcae/internal/wal"
+)
+
+// Config holds the level-shaping parameters the paper varies (Table IV).
+type Config struct {
+	// LevelRatio is Size(L_{i+1})/Size(L_i) — paper "leveling ratio",
+	// default 10, range [4,16].
+	LevelRatio int
+	// BaseLevelBytes is the size budget of L1.
+	BaseLevelBytes uint64
+	// L0CompactionTrigger is the file count that schedules an L0 merge.
+	L0CompactionTrigger int
+	// MaxOutputFileBytes bounds compaction output tables (paper: ~2 MB).
+	MaxOutputFileBytes uint64
+	// TieredRuns, when > 0, switches levels >= 1 to tiered (lazy)
+	// compaction: each level accumulates up to TieredRuns overlapping
+	// sorted runs before a full-level merge pushes one combined run down —
+	// the write-optimized scheme (SifrDB, PebblesDB) the paper's 9-input
+	// engine targets (§VII-C).
+	TieredRuns int
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.LevelRatio <= 0 {
+		c.LevelRatio = 10
+	}
+	if c.BaseLevelBytes == 0 {
+		c.BaseLevelBytes = 10 << 20
+	}
+	if c.L0CompactionTrigger <= 0 {
+		c.L0CompactionTrigger = 4
+	}
+	if c.MaxOutputFileBytes == 0 {
+		c.MaxOutputFileBytes = 2 << 20
+	}
+	return c
+}
+
+// MaxBytes returns the byte budget of level (levels >= 1).
+func (c Config) MaxBytes(level int) uint64 {
+	b := c.BaseLevelBytes
+	for l := 1; l < level; l++ {
+		b *= uint64(c.LevelRatio)
+	}
+	return b
+}
+
+// VersionSet owns the current version, the MANIFEST log and the file
+// number / sequence counters.
+type VersionSet struct {
+	mu  sync.Mutex
+	dir string
+	cfg Config
+
+	current     *Version
+	manifest    *wal.Writer
+	manifestF   *os.File
+	manifestNum uint64
+
+	nextFileNum uint64
+	lastSeq     uint64
+	logNum      uint64
+	// replayedManifest is the file recovery loaded, removed once a fresh
+	// snapshot manifest has replaced it.
+	replayedManifest string
+
+	compactPointers [NumLevels][]byte
+}
+
+func manifestCRC(t byte, payload []byte) uint32 {
+	return crc.Extend(crc.Value([]byte{t}), payload)
+}
+
+// CurrentPath returns the CURRENT pointer file path for dir.
+func CurrentPath(dir string) string { return filepath.Join(dir, "CURRENT") }
+
+// ManifestPath returns the path of MANIFEST number num.
+func ManifestPath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
+}
+
+// Open recovers (or creates) the version state in dir.
+func Open(dir string, cfg Config) (*VersionSet, error) {
+	vs := &VersionSet{
+		dir:         dir,
+		cfg:         cfg.WithDefaults(),
+		current:     &Version{},
+		nextFileNum: 2,
+	}
+	currentData, err := os.ReadFile(CurrentPath(dir))
+	switch {
+	case os.IsNotExist(err):
+		// Fresh database.
+	case err != nil:
+		return nil, err
+	default:
+		if err := vs.replay(string(currentData)); err != nil {
+			return nil, err
+		}
+	}
+	if err := vs.rollManifest(); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+// replay loads the manifest named by the CURRENT file contents.
+func (vs *VersionSet) replay(name string) error {
+	for len(name) > 0 && (name[len(name)-1] == '\n' || name[len(name)-1] == '\r') {
+		name = name[:len(name)-1]
+	}
+	f, err := os.Open(filepath.Join(vs.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	vs.replayedManifest = name
+	r := wal.NewReader(f, manifestCRC)
+	v := &Version{}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("manifest %s: %w", name, err)
+		}
+		edit, err := DecodeEdit(rec)
+		if err != nil {
+			return err
+		}
+		if v, err = v.Apply(edit); err != nil {
+			return err
+		}
+		if edit.HasNextFileNum {
+			vs.nextFileNum = edit.NextFileNum
+		}
+		if edit.HasLastSeq {
+			vs.lastSeq = edit.LastSeq
+		}
+		if edit.HasLogNum {
+			vs.logNum = edit.LogNum
+		}
+		for level, key := range edit.CompactPointers {
+			vs.compactPointers[level] = key
+		}
+	}
+	vs.current = v
+	return nil
+}
+
+// rollManifest starts a fresh MANIFEST containing a snapshot of the state
+// and atomically repoints CURRENT at it.
+func (vs *VersionSet) rollManifest() error {
+	num := vs.allocFileNum()
+	path := ManifestPath(vs.dir, num)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := wal.NewWriter(f, manifestCRC)
+
+	snap := &VersionEdit{}
+	snap.SetNextFileNum(vs.nextFileNum)
+	snap.SetLastSeq(vs.lastSeq)
+	snap.SetLogNum(vs.logNum)
+	for level, key := range vs.compactPointers {
+		if key != nil {
+			snap.SetCompactPointer(level, key)
+		}
+	}
+	for level, files := range vs.current.Levels {
+		for _, meta := range files {
+			snap.AddFile(level, meta)
+		}
+	}
+	if err := w.Append(snap.Encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := setCurrent(vs.dir, num); err != nil {
+		f.Close()
+		return err
+	}
+	if vs.manifestF != nil {
+		vs.manifestF.Close()
+		os.Remove(ManifestPath(vs.dir, vs.manifestNum))
+	}
+	if vs.replayedManifest != "" {
+		// The recovery source is superseded by the fresh snapshot.
+		os.Remove(filepath.Join(vs.dir, vs.replayedManifest))
+		vs.replayedManifest = ""
+	}
+	vs.manifest, vs.manifestF, vs.manifestNum = w, f, num
+	return nil
+}
+
+// setCurrent atomically points CURRENT at manifest num.
+func setCurrent(dir string, num uint64) error {
+	tmp := filepath.Join(dir, fmt.Sprintf("CURRENT.%06d.tmp", num))
+	content := fmt.Sprintf("MANIFEST-%06d\n", num)
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, CurrentPath(dir))
+}
+
+// Close releases the manifest file handle.
+func (vs *VersionSet) Close() error {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.manifestF != nil {
+		err := vs.manifestF.Close()
+		vs.manifestF = nil
+		return err
+	}
+	return nil
+}
+
+// Current returns the live version. The returned value is immutable.
+func (vs *VersionSet) Current() *Version {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.current
+}
+
+// Config returns the level configuration.
+func (vs *VersionSet) Config() Config { return vs.cfg }
+
+// AllocFileNum reserves and returns a fresh file number.
+func (vs *VersionSet) AllocFileNum() uint64 {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.allocFileNum()
+}
+
+func (vs *VersionSet) allocFileNum() uint64 {
+	n := vs.nextFileNum
+	vs.nextFileNum++
+	return n
+}
+
+// LastSeq returns the newest assigned sequence number.
+func (vs *VersionSet) LastSeq() uint64 {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.lastSeq
+}
+
+// SetLastSeq advances the sequence counter.
+func (vs *VersionSet) SetLastSeq(n uint64) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if n > vs.lastSeq {
+		vs.lastSeq = n
+	}
+}
+
+// LogNum returns the WAL number recorded as durable.
+func (vs *VersionSet) LogNum() uint64 {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.logNum
+}
+
+// LogAndApply durably logs edit and installs the resulting version.
+func (vs *VersionSet) LogAndApply(edit *VersionEdit) error {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if !edit.HasNextFileNum {
+		edit.SetNextFileNum(vs.nextFileNum)
+	}
+	if !edit.HasLastSeq {
+		edit.SetLastSeq(vs.lastSeq)
+	}
+	next, err := vs.current.Apply(edit)
+	if err != nil {
+		return err
+	}
+	if err := vs.manifest.Append(edit.Encode()); err != nil {
+		return err
+	}
+	if err := vs.manifest.Sync(); err != nil {
+		return err
+	}
+	vs.current = next
+	if edit.HasLogNum {
+		vs.logNum = edit.LogNum
+	}
+	if edit.HasLastSeq && edit.LastSeq > vs.lastSeq {
+		vs.lastSeq = edit.LastSeq
+	}
+	for level, key := range edit.CompactPointers {
+		vs.compactPointers[level] = key
+	}
+	return nil
+}
+
+// LiveFileNums returns the numbers of all tables referenced by the current
+// version, used by garbage collection of obsolete files.
+func (vs *VersionSet) LiveFileNums() map[uint64]bool {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	live := make(map[uint64]bool)
+	for _, files := range vs.current.Levels {
+		for _, f := range files {
+			live[f.Num] = true
+		}
+	}
+	return live
+}
+
+// MaxNextLevelOverlappingBytes reports the worst-case overlap between a
+// file at some level and the next level, a write-amplification signal
+// surfaced in stats.
+func (vs *VersionSet) MaxNextLevelOverlappingBytes() uint64 {
+	vs.mu.Lock()
+	v := vs.current
+	vs.mu.Unlock()
+	var max uint64
+	for level := 1; level < NumLevels-1; level++ {
+		for _, f := range v.Levels[level] {
+			var sum uint64
+			for _, o := range v.Overlapping(level+1, keys.UserKey(f.Smallest), keys.UserKey(f.Largest)) {
+				sum += o.Size
+			}
+			if sum > max {
+				max = sum
+			}
+		}
+	}
+	return max
+}

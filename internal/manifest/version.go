@@ -1,0 +1,247 @@
+package manifest
+
+import (
+	"fmt"
+	"sort"
+
+	"fcae/internal/keys"
+)
+
+// Version is an immutable snapshot of the table set. Level 0 holds files
+// with possibly overlapping key ranges, newest first; levels >= 1 are
+// sorted by smallest key and non-overlapping (paper §II-A).
+type Version struct {
+	Levels [NumLevels][]*FileMetadata
+}
+
+// Clone returns a shallow copy (file metadata is shared; the per-level
+// slices are fresh).
+func (v *Version) Clone() *Version {
+	n := &Version{}
+	for i := range v.Levels {
+		n.Levels[i] = append([]*FileMetadata(nil), v.Levels[i]...)
+	}
+	return n
+}
+
+// NumFiles returns the file count at level.
+func (v *Version) NumFiles(level int) int { return len(v.Levels[level]) }
+
+// TotalFiles returns the file count across levels.
+func (v *Version) TotalFiles() int {
+	n := 0
+	for i := range v.Levels {
+		n += len(v.Levels[i])
+	}
+	return n
+}
+
+// LevelBytes returns the total table bytes at level.
+func (v *Version) LevelBytes(level int) uint64 {
+	var n uint64
+	for _, f := range v.Levels[level] {
+		n += f.Size
+	}
+	return n
+}
+
+// userRange converts file bounds to a user-key range (inclusive both ends,
+// so Limit is exclusive only notionally; overlap checks below compare
+// inclusively).
+func fileRangeOverlaps(f *FileMetadata, smallest, largest []byte) bool {
+	// smallest/largest are user keys; nil means unbounded.
+	if largest != nil && keys.CompareUser(keys.UserKey(f.Smallest), largest) > 0 {
+		return false
+	}
+	if smallest != nil && keys.CompareUser(keys.UserKey(f.Largest), smallest) < 0 {
+		return false
+	}
+	return true
+}
+
+// Overlapping returns the files at level intersecting the inclusive user
+// key range [smallest, largest]. At level 0 the range is expanded to cover
+// transitively overlapping files, as LevelDB does, so a compaction consumes
+// every L0 file whose range touches the result set.
+func (v *Version) Overlapping(level int, smallest, largest []byte) []*FileMetadata {
+	var out []*FileMetadata
+	files := v.Levels[level]
+	for i := 0; i < len(files); i++ {
+		f := files[i]
+		if !fileRangeOverlaps(f, smallest, largest) {
+			continue
+		}
+		if level == 0 {
+			// Grow the range and restart if this file extends it.
+			fs, fl := keys.UserKey(f.Smallest), keys.UserKey(f.Largest)
+			restart := false
+			if smallest != nil && keys.CompareUser(fs, smallest) < 0 {
+				smallest = fs
+				restart = true
+			}
+			if largest != nil && keys.CompareUser(fl, largest) > 0 {
+				largest = fl
+				restart = true
+			}
+			if restart {
+				out = out[:0]
+				i = -1
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// PickLevelForMemTableOutput chooses the level for a fresh flush. LevelDB
+// pushes non-overlapping output down up to two levels to reduce write
+// amplification; we flush to L0 always for simplicity and paper fidelity
+// (the paper's flushes land in L0, making L0→L1 the 9-input case).
+func (v *Version) PickLevelForMemTableOutput() int { return 0 }
+
+// ForEachOverlapping visits files that may contain userKey, newest first:
+// L0 files from newest to oldest, then one file per deeper level. The
+// visit function returns false to stop.
+func (v *Version) ForEachOverlapping(userKey []byte, visit func(level int, f *FileMetadata) bool) {
+	// L0: all overlapping files, newest (highest number) first.
+	var l0 []*FileMetadata
+	for _, f := range v.Levels[0] {
+		if keys.CompareUser(userKey, keys.UserKey(f.Smallest)) >= 0 &&
+			keys.CompareUser(userKey, keys.UserKey(f.Largest)) <= 0 {
+			l0 = append(l0, f)
+		}
+	}
+	sort.Slice(l0, func(i, j int) bool { return l0[i].Num > l0[j].Num })
+	for _, f := range l0 {
+		if !visit(0, f) {
+			return
+		}
+	}
+	for level := 1; level < NumLevels; level++ {
+		// Probe each sorted run, newest first: within one level, a more
+		// recent run holds strictly newer data (full-run tiering moves
+		// whole levels down together), so the first hit wins.
+		for _, run := range v.RunGroups(level) {
+			i := sort.Search(len(run), func(i int) bool {
+				return keys.CompareUser(keys.UserKey(run[i].Largest), userKey) >= 0
+			})
+			if i < len(run) && keys.CompareUser(userKey, keys.UserKey(run[i].Smallest)) >= 0 {
+				if !visit(level, run[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Apply produces the next version from an edit. Added files are inserted
+// in sorted order (levels >= 1) or kept in insertion order for level 0.
+func (v *Version) Apply(edit *VersionEdit) (*Version, error) {
+	next := v.Clone()
+	for _, d := range edit.Deleted {
+		files := next.Levels[d.Level]
+		idx := -1
+		for i, f := range files {
+			if f.Num == d.Num {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("manifest: deleting unknown file %d at level %d", d.Num, d.Level)
+		}
+		next.Levels[d.Level] = append(files[:idx:idx], files[idx+1:]...)
+	}
+	for _, a := range edit.Added {
+		meta := a.Meta
+		if meta.AllowedSeeks == 0 {
+			// LevelDB heuristic: one seek per 16 KiB of file is "free".
+			meta.AllowedSeeks = int(meta.Size / 16384)
+			if meta.AllowedSeeks < 100 {
+				meta.AllowedSeeks = 100
+			}
+		}
+		next.Levels[a.Level] = append(next.Levels[a.Level], meta)
+	}
+	for level := 1; level < NumLevels; level++ {
+		files := next.Levels[level]
+		sort.Slice(files, func(i, j int) bool {
+			if files[i].RunID != files[j].RunID {
+				return files[i].RunID < files[j].RunID
+			}
+			return keys.Compare(files[i].Smallest, files[j].Smallest) < 0
+		})
+	}
+	return next, next.checkInvariants()
+}
+
+// checkInvariants validates sortedness and non-overlap within each sorted
+// run at levels >= 1. Distinct runs may overlap freely (tiered mode);
+// leveled levels put every file in run 0, so the check degenerates to the
+// classic whole-level invariant.
+func (v *Version) checkInvariants() error {
+	for level := 1; level < NumLevels; level++ {
+		files := v.Levels[level]
+		for i := 1; i < len(files); i++ {
+			prev, cur := files[i-1], files[i]
+			if prev.RunID != cur.RunID {
+				continue
+			}
+			if keys.CompareUser(keys.UserKey(prev.Largest), keys.UserKey(cur.Smallest)) >= 0 {
+				return fmt.Errorf("manifest: level %d run %d files %d and %d overlap: %q vs %q",
+					level, cur.RunID, prev.Num, cur.Num, keys.UserKey(prev.Largest), keys.UserKey(cur.Smallest))
+			}
+		}
+	}
+	return nil
+}
+
+// RunGroups returns the level's files grouped into sorted runs, newest run
+// (largest RunID) first. Levels are stored sorted by (RunID, Smallest), so
+// groups are consecutive slices.
+func (v *Version) RunGroups(level int) [][]*FileMetadata {
+	files := v.Levels[level]
+	if len(files) == 0 {
+		return nil
+	}
+	var groups [][]*FileMetadata
+	start := 0
+	for i := 1; i <= len(files); i++ {
+		if i == len(files) || files[i].RunID != files[start].RunID {
+			groups = append(groups, files[start:i])
+			start = i
+		}
+	}
+	// Reverse: newest RunID last in storage order, first for probing.
+	for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
+		groups[i], groups[j] = groups[j], groups[i]
+	}
+	return groups
+}
+
+// NumRuns returns the number of sorted runs at level (each L0 file is its
+// own run).
+func (v *Version) NumRuns(level int) int {
+	if level == 0 {
+		return len(v.Levels[0])
+	}
+	return len(v.RunGroups(level))
+}
+
+// DebugString renders the version's level shape, useful in tests and the
+// stats output.
+func (v *Version) DebugString() string {
+	s := ""
+	for level := 0; level < NumLevels; level++ {
+		if len(v.Levels[level]) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("L%d:", level)
+		for _, f := range v.Levels[level] {
+			s += fmt.Sprintf(" %d(%dB)", f.Num, f.Size)
+		}
+		s += "\n"
+	}
+	return s
+}

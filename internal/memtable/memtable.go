@@ -1,0 +1,132 @@
+// Package memtable implements the mutable in-memory write buffer. Entries
+// are stored in a skiplist as a single encoded record
+//
+//	varint(len(ikey)) ikey varint(len(value)) value
+//
+// ordered by the internal-key comparator, exactly as in LevelDB, so that a
+// flush ("the first type of compaction", paper §II-A) is a simple in-order
+// scan into an SSTable builder.
+package memtable
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"fcae/internal/keys"
+	"fcae/internal/skiplist"
+)
+
+// ErrNotFound is returned by Get when the key has no entry in this table.
+var ErrNotFound = errors.New("memtable: not found")
+
+// MemTable is a sorted in-memory buffer of recent writes. Add calls must be
+// serialized by the caller; reads may run concurrently with one writer.
+type MemTable struct {
+	list *skiplist.List
+}
+
+// New returns an empty MemTable. seed fixes skiplist randomness.
+func New(seed int64) *MemTable {
+	return &MemTable{list: skiplist.New(compareEntries, seed)}
+}
+
+// compareEntries orders encoded entries by their internal key.
+func compareEntries(a, b []byte) int {
+	return keys.Compare(decodeKey(a), decodeKey(b))
+}
+
+func decodeKey(entry []byte) []byte {
+	n, w := binary.Uvarint(entry)
+	return entry[w : w+int(n)]
+}
+
+func decodeKV(entry []byte) (ikey, value []byte) {
+	n, w := binary.Uvarint(entry)
+	ikey = entry[w : w+int(n)]
+	rest := entry[w+int(n):]
+	vn, vw := binary.Uvarint(rest)
+	return ikey, rest[vw : vw+int(vn)]
+}
+
+func encodeEntry(ikey, value []byte) []byte {
+	buf := make([]byte, 0, len(ikey)+len(value)+2*binary.MaxVarintLen32)
+	var tmp [binary.MaxVarintLen32]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(ikey)))]...)
+	buf = append(buf, ikey...)
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(value)))]...)
+	return append(buf, value...)
+}
+
+// Add inserts a (user key, value) pair at the given sequence number. kind
+// distinguishes sets from deletion tombstones.
+func (m *MemTable) Add(seq uint64, kind keys.Kind, user, value []byte) {
+	ikey := keys.MakeInternal(nil, user, seq, kind)
+	m.list.Insert(encodeEntry(ikey, value))
+}
+
+// Get looks up the newest entry for user visible at snapshot seq. found
+// reports whether any entry exists; deleted reports a tombstone.
+func (m *MemTable) Get(user []byte, seq uint64) (value []byte, deleted, found bool) {
+	lookup := keys.MakeInternal(nil, user, seq, keys.KindSet)
+	it := m.list.NewIterator()
+	it.SeekGE(encodeEntry(lookup, nil))
+	if !it.Valid() {
+		return nil, false, false
+	}
+	ikey, val := decodeKV(it.Key())
+	if keys.CompareUser(keys.UserKey(ikey), user) != 0 {
+		return nil, false, false
+	}
+	_, kind := keys.DecodeTrailer(ikey)
+	if kind == keys.KindDelete {
+		return nil, true, true
+	}
+	return val, false, true
+}
+
+// Len returns the number of entries.
+func (m *MemTable) Len() int { return m.list.Len() }
+
+// ApproximateSize returns the bytes consumed by stored entries, used to
+// decide when the table is full and must become immutable (paper §II-A).
+func (m *MemTable) ApproximateSize() int64 { return m.list.Bytes() }
+
+// Empty reports whether the table has no entries.
+func (m *MemTable) Empty() bool { return m.list.Len() == 0 }
+
+// Iterator yields entries in internal-key order.
+type Iterator struct {
+	it *skiplist.Iterator
+}
+
+// NewIterator returns an unpositioned iterator over the table.
+func (m *MemTable) NewIterator() *Iterator {
+	return &Iterator{it: m.list.NewIterator()}
+}
+
+// Valid reports whether the iterator is positioned.
+func (it *Iterator) Valid() bool { return it.it.Valid() }
+
+// Key returns the current internal key.
+func (it *Iterator) Key() []byte { k, _ := decodeKV(it.it.Key()); return k }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { _, v := decodeKV(it.it.Key()); return v }
+
+// Next advances the iterator.
+func (it *Iterator) Next() { it.it.Next() }
+
+// Prev steps the iterator backwards.
+func (it *Iterator) Prev() { it.it.Prev() }
+
+// SeekGE positions at the first entry with internal key >= ikey.
+func (it *Iterator) SeekGE(ikey []byte) { it.it.SeekGE(encodeEntry(ikey, nil)) }
+
+// SeekToFirst positions at the smallest entry.
+func (it *Iterator) SeekToFirst() { it.it.SeekToFirst() }
+
+// SeekToLast positions at the largest entry.
+func (it *Iterator) SeekToLast() { it.it.SeekToLast() }
+
+// Error always returns nil: memtable iteration cannot fail.
+func (it *Iterator) Error() error { return nil }

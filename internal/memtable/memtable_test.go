@@ -1,0 +1,103 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fcae/internal/keys"
+)
+
+func TestGetLatestWins(t *testing.T) {
+	m := New(1)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(2, keys.KindSet, []byte("k"), []byte("v2"))
+	v, del, found := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || del || string(v) != "v2" {
+		t.Fatalf("Get = %q del=%v found=%v", v, del, found)
+	}
+}
+
+func TestGetSnapshotIsolation(t *testing.T) {
+	m := New(1)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
+	m.Add(5, keys.KindSet, []byte("k"), []byte("v5"))
+	v, _, found := m.Get([]byte("k"), 3)
+	if !found || string(v) != "v1" {
+		t.Fatalf("Get@3 = %q found=%v, want v1", v, found)
+	}
+	_, _, found = m.Get([]byte("zzz"), keys.MaxSeq)
+	if found {
+		t.Fatal("absent key reported found")
+	}
+}
+
+func TestGetTombstone(t *testing.T) {
+	m := New(1)
+	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
+	m.Add(2, keys.KindDelete, []byte("k"), nil)
+	_, del, found := m.Get([]byte("k"), keys.MaxSeq)
+	if !found || !del {
+		t.Fatalf("deleted key: del=%v found=%v", del, found)
+	}
+	v, del, found := m.Get([]byte("k"), 1)
+	if !found || del || string(v) != "v" {
+		t.Fatal("older snapshot should still see the value")
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	m := New(1)
+	for i := 99; i >= 0; i-- {
+		m.Add(uint64(100-i), keys.KindSet, []byte(fmt.Sprintf("key%03d", i)), []byte{byte(i)})
+	}
+	it := m.NewIterator()
+	n := 0
+	var prev []byte
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if prev != nil && keys.Compare(prev, it.Key()) >= 0 {
+			t.Fatal("iterator out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("iterated %d entries, want 100", n)
+	}
+}
+
+func TestIteratorSeekGE(t *testing.T) {
+	m := New(1)
+	m.Add(10, keys.KindSet, []byte("b"), []byte("vb"))
+	m.Add(11, keys.KindSet, []byte("d"), []byte("vd"))
+	it := m.NewIterator()
+	it.SeekGE(keys.MakeInternal(nil, []byte("c"), keys.MaxSeq, keys.KindSet))
+	if !it.Valid() || !bytes.Equal(keys.UserKey(it.Key()), []byte("d")) {
+		t.Fatalf("SeekGE(c) landed on %q", it.Key())
+	}
+	if string(it.Value()) != "vd" {
+		t.Fatalf("Value = %q", it.Value())
+	}
+}
+
+func TestApproximateSizeGrows(t *testing.T) {
+	m := New(1)
+	before := m.ApproximateSize()
+	m.Add(1, keys.KindSet, []byte("key"), make([]byte, 1000))
+	if m.ApproximateSize() < before+1000 {
+		t.Fatalf("size %d did not grow by value length", m.ApproximateSize())
+	}
+	if m.Empty() || m.Len() != 1 {
+		t.Fatal("table should have one entry")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	m := New(1)
+	val := bytes.Repeat([]byte{0xab}, 1<<16)
+	m.Add(1, keys.KindSet, []byte("big"), val)
+	got, _, found := m.Get([]byte("big"), keys.MaxSeq)
+	if !found || !bytes.Equal(got, val) {
+		t.Fatal("large value round trip failed")
+	}
+}

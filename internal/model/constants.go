@@ -1,0 +1,177 @@
+// Package model holds the calibrated timing models that stand in for the
+// paper's measured hardware: the CPU compaction cost model (i7-8700K @
+// 3.7 GHz running LevelDB's single-thread merge), the PCIe gen3 x16 link,
+// and the storage device. Every constant is fitted against a specific
+// table or figure of the paper; EXPERIMENTS.md records the residuals.
+package model
+
+import "time"
+
+// CPU compaction cost model, fitted against Table V's CPU column
+// (compaction speed 5.3-14.8 MB/s for value lengths 64-2048 at N=2).
+//
+// The per-pair time is
+//
+//	t = (Fixed + KeyByte*Lkey + ValueByte*Lvalue + Spill*max(0,Lvalue-SpillAt))
+//	    * MergePenalty(N)
+//
+// where MergePenalty models the deeper compare tree and extra input
+// switching of a wider merge (fitted so the 9-input CPU baseline lands
+// near 1/2.26 of the 2-input speed, reproducing Fig 13's 92x peak).
+const (
+	// CPUFixedPerPair covers varint parsing, iterator bookkeeping, crc and
+	// branch costs independent of entry size.
+	CPUFixedPerPair = 10440 * time.Nanosecond
+	// CPUPerKeyByte is charged per internal-key byte (decode+compare+encode).
+	CPUPerKeyByte = 60 * time.Nanosecond
+	// CPUPerValueByte is charged per value byte (copy + snappy in/out).
+	CPUPerValueByte = 60 * time.Nanosecond
+	// CPUSpillPerByte adds cache-spill cost for value bytes past CPUSpillAt,
+	// reproducing Table V's CPU slowdown at 2048-byte values.
+	CPUSpillPerByte = 30 * time.Nanosecond
+	// CPUSpillAt is the value length where the working set leaves L2.
+	CPUSpillAt = 1024
+	// CPUMergePenaltyPerLevel scales per-pair cost for each doubling of
+	// the merge width beyond two inputs.
+	CPUMergePenaltyPerLevel = 0.42
+)
+
+// CPUMergePenalty returns the multiplicative cost of an n-way merge.
+func CPUMergePenalty(n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	levels := ceilLog2(n)
+	return 1 + CPUMergePenaltyPerLevel*float64(levels-1)
+}
+
+// CPUPairTime returns the modeled single-thread CPU time to merge one
+// key-value pair of the given sizes in an n-way compaction.
+func CPUPairTime(keyLen, valueLen, n int) time.Duration {
+	t := float64(CPUFixedPerPair) +
+		float64(CPUPerKeyByte)*float64(keyLen) +
+		float64(CPUPerValueByte)*float64(valueLen)
+	if valueLen > CPUSpillAt {
+		t += float64(CPUSpillPerByte) * float64(valueLen-CPUSpillAt)
+	}
+	return time.Duration(t * CPUMergePenalty(n))
+}
+
+// PCIe gen3 x16 between host and the FPGA card (paper §VII-A). The
+// effective data rate is below the 15.75 GB/s line rate due to TLP
+// overhead and DMA setup; Table VIII's transfer percentages calibrate it.
+// The per-transfer latency covers DMA descriptor setup, driver syscalls
+// and the host-side staging memcpy; it dominates for compaction-sized
+// buffers and is what makes Table VIII's transfer share fall from ~9% on
+// small datasets (frequent compactions) to <1% at 1 TB (compaction rate
+// throttled by deep-level work).
+const (
+	// PCIeBandwidth is the effective DMA bandwidth in bytes/second,
+	// including the host-side staging memcpy (well under the gen3 x16
+	// line rate).
+	PCIeBandwidth = 2.0e9
+	// PCIeLatency is the fixed per-transfer setup cost.
+	PCIeLatency = 300 * time.Microsecond
+)
+
+// PCIeTransferTime models one DMA of n bytes.
+func PCIeTransferTime(n int64) time.Duration {
+	return PCIeLatency + time.Duration(float64(n)/PCIeBandwidth*float64(time.Second))
+}
+
+// Storage device model for the end-to-end simulation: an NVMe-class SSD.
+// The paper's modest absolute write throughput (2-3 MB/s random load on
+// LevelDB, Table VI) is compaction-bound, not device-bound.
+const (
+	// DiskWriteBandwidth is the sequential write rate in bytes/second.
+	DiskWriteBandwidth = 900e6
+	// DiskReadBandwidth is the sequential read rate in bytes/second.
+	DiskReadBandwidth = 1.2e9
+	// DiskOpLatency is the fixed per-request latency.
+	DiskOpLatency = 80 * time.Microsecond
+)
+
+// DiskWriteTime models writing n bytes sequentially.
+func DiskWriteTime(n int64) time.Duration {
+	return DiskOpLatency + time.Duration(float64(n)/DiskWriteBandwidth*float64(time.Second))
+}
+
+// DiskReadTime models reading n bytes sequentially.
+func DiskReadTime(n int64) time.Duration {
+	return DiskOpLatency + time.Duration(float64(n)/DiskReadBandwidth*float64(time.Second))
+}
+
+// WAL + memtable insert cost per write on the foreground path, calibrated
+// against Table VI's LevelDB throughput ceiling for small data sizes
+// (Fig 10 shows ~12 MB/s at 0.2 GB where compaction pressure is low).
+const (
+	// WriteFixed is the per-operation foreground cost (WAL append, memtable
+	// skiplist insert, batching overhead).
+	WriteFixed = 10 * time.Microsecond
+	// WritePerByte is the per-byte foreground cost (WAL write + entry copy).
+	WritePerByte = 75 * time.Nanosecond
+)
+
+// Live (in-system) CPU compaction cost, used by the end-to-end simulation.
+// The isolated Table V harness pays cold caches and per-pair
+// instrumentation that the steady-state background thread does not, so its
+// per-pair cost overstates the live cost, especially for short entries.
+// The live model is fitted against Table VI's LevelDB column (2.3-2.9 MB/s
+// roughly flat across value lengths):
+const (
+	// CPULiveFixedPerPair is the per-entry cost of the live merge loop.
+	CPULiveFixedPerPair = 1500 * time.Nanosecond
+	// CPULivePerByte is the live per-byte merge cost.
+	CPULivePerByte = 35 * time.Nanosecond
+)
+
+// CPULivePairTime returns the in-system per-pair merge cost for an n-way
+// compaction.
+func CPULivePairTime(keyLen, valueLen, n int) time.Duration {
+	t := float64(CPULiveFixedPerPair) + float64(CPULivePerByte)*float64(keyLen+valueLen)
+	_ = n // the live heap merge amortizes compare depth; width is ignored
+	return time.Duration(t)
+}
+
+// WriteTime models the foreground cost of inserting one entry.
+func WriteTime(entryBytes int) time.Duration {
+	return WriteFixed + time.Duration(entryBytes)*WritePerByte
+}
+
+// Flush cost: dumping one memtable entry to an L0 table (skiplist scan,
+// block encode, checksum). Flushing is far cheaper per pair than merging.
+const (
+	// FlushFixedPerEntry is the per-entry CPU cost of a flush.
+	FlushFixedPerEntry = 2 * time.Microsecond
+	// FlushPerByte is the per-byte encode cost of a flush.
+	FlushPerByte = 12 * time.Nanosecond
+)
+
+// FlushPerEntry returns the CPU time to flush one entry.
+func FlushPerEntry(keyLen, valueLen int) time.Duration {
+	return FlushFixedPerEntry + time.Duration(keyLen+valueLen)*FlushPerByte
+}
+
+// Read path cost model for the YCSB experiments (Fig 16).
+const (
+	// ReadMemHit is the cost of a memtable or block-cache hit.
+	ReadMemHit = 4 * time.Microsecond
+	// ReadDiskSeek is the cost of loading a block from the device.
+	ReadDiskSeek = 90 * time.Microsecond
+	// ReadPerLevelProbe is the per-level bloom/index probe cost.
+	ReadPerLevelProbe = 1 * time.Microsecond
+)
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1.
+func ceilLog2(n int) int {
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}
+
+// CeilLog2 is the exported form used by the engine's Comparer model
+// (paper Table II: comparer period is (2+ceil(log2 N)) * Lkey).
+func CeilLog2(n int) int { return ceilLog2(n) }

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCPUPairTimeMatchesTableV checks the calibrated CPU model against the
+// paper's measured compaction speeds (Table V, CPU column) within 20%.
+func TestCPUPairTimeMatchesTableV(t *testing.T) {
+	paper := map[int]float64{64: 5.3, 128: 6.9, 256: 9.0, 512: 12.2, 1024: 14.8, 2048: 13.3}
+	for lv, want := range paper {
+		bytesPerPair := float64(16 + 8 + lv + 6)
+		speed := bytesPerPair / CPUPairTime(24, lv, 2).Seconds() / 1e6
+		if speed < want*0.8 || speed > want*1.25 {
+			t.Errorf("Lvalue=%d: modeled CPU speed %.1f MB/s, paper %.1f", lv, speed, want)
+		}
+	}
+}
+
+func TestCPUSpillKicksInAboveThreshold(t *testing.T) {
+	below := CPUPairTime(24, CPUSpillAt, 2)
+	above := CPUPairTime(24, CPUSpillAt+512, 2)
+	linear := below + 512*CPUPerValueByte
+	if above <= linear {
+		t.Fatal("spill term missing above the threshold")
+	}
+}
+
+func TestCPUMergePenaltyMonotonic(t *testing.T) {
+	if CPUMergePenalty(2) != 1 {
+		t.Fatalf("2-way penalty = %v, want 1", CPUMergePenalty(2))
+	}
+	prev := 0.0
+	for _, n := range []int{2, 3, 5, 9, 17} {
+		p := CPUMergePenalty(n)
+		if p < prev {
+			t.Fatalf("penalty not monotonic at n=%d", n)
+		}
+		prev = p
+	}
+	// Fig 13 calibration: the 9-way merge costs ~2.26x the 2-way merge.
+	if p := CPUMergePenalty(9); p < 2.0 || p > 2.5 {
+		t.Fatalf("9-way penalty = %.2f, want ~2.26", p)
+	}
+}
+
+func TestPCIeTransferTime(t *testing.T) {
+	small := PCIeTransferTime(0)
+	if small != PCIeLatency {
+		t.Fatalf("zero-byte transfer = %v", small)
+	}
+	gb := PCIeTransferTime(1 << 30)
+	if gb < 400*time.Millisecond || gb > 700*time.Millisecond {
+		t.Fatalf("1 GiB transfer = %v, expected ~0.54s at 2 GB/s", gb)
+	}
+}
+
+func TestDiskTimes(t *testing.T) {
+	if DiskWriteTime(0) != DiskOpLatency {
+		t.Fatal("zero write should cost only latency")
+	}
+	w := DiskWriteTime(900e6)
+	if w < time.Second || w > 1100*time.Millisecond {
+		t.Fatalf("900 MB write = %v, want ~1s", w)
+	}
+	if DiskReadTime(1<<20) >= DiskWriteTime(1<<20) {
+		t.Fatal("reads should be faster than writes")
+	}
+}
+
+func TestWriteTimeScales(t *testing.T) {
+	if WriteTime(2048) <= WriteTime(64) {
+		t.Fatal("write cost must grow with entry size")
+	}
+}
+
+func TestFlushCheaperThanLiveMerge(t *testing.T) {
+	if FlushPerEntry(24, 512) >= CPULivePairTime(24, 512, 2) {
+		t.Fatal("flushing a pair must cost less than merging it")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

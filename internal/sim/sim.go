@@ -1,0 +1,74 @@
+// Package sim provides a minimal deterministic discrete-event simulator:
+// a virtual clock and an event queue. The lsmsim package builds the
+// store-level model for the paper's end-to-end experiments on top of it.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker for determinism
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim is a virtual-time event loop. The zero value is ready to use.
+type Sim struct {
+	now time.Duration
+	h   eventHeap
+	seq uint64
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// After schedules fn to run delay from now. Negative delays run "now".
+func (s *Sim) After(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.h, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.h).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the event queue.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.h) }

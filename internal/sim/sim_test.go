@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("final time %v", s.Now())
+	}
+}
+
+func TestTiesRunInScheduleOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Sim
+	var fired []time.Duration
+	s.After(time.Second, func() {
+		fired = append(fired, s.Now())
+		s.After(2*time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestNegativeDelayRunsNow(t *testing.T) {
+	var s Sim
+	s.After(time.Second, func() {
+		s.After(-5*time.Second, func() {
+			if s.Now() != time.Second {
+				t.Errorf("negative delay ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestStepAndPending(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+	s.After(time.Millisecond, func() {})
+	s.After(time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	if !s.Step() || s.Pending() != 1 {
+		t.Fatal("Step did not consume one event")
+	}
+}

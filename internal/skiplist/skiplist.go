@@ -1,0 +1,194 @@
+// Package skiplist provides the ordered in-memory index backing the
+// MemTable (paper §II: "the newest data are stored in the MemTable in main
+// memory using skiplists"). Writes must be externally serialized (the DB
+// holds its write mutex); reads may proceed concurrently with a writer
+// because node links are published with atomic stores, mirroring LevelDB's
+// single-writer/multi-reader skiplist contract.
+package skiplist
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+const (
+	maxHeight = 12
+	// branching gives P(promote) = 1/branching per level.
+	branching = 4
+)
+
+// Comparer orders the keys stored in the list.
+type Comparer func(a, b []byte) int
+
+type node struct {
+	key  []byte
+	next []atomic.Pointer[node]
+}
+
+func newNode(key []byte, height int) *node {
+	return &node{key: key, next: make([]atomic.Pointer[node], height)}
+}
+
+// List is a skiplist of byte-slice keys. The zero value is not usable; call
+// New.
+type List struct {
+	cmp    Comparer
+	head   *node
+	height atomic.Int32
+	rnd    *rand.Rand
+	count  atomic.Int64
+	bytes  atomic.Int64
+}
+
+// New returns an empty list ordered by cmp. seed fixes the tower-height
+// RNG so tests are reproducible.
+func New(cmp Comparer, seed int64) *List {
+	l := &List{
+		cmp:  cmp,
+		head: newNode(nil, maxHeight),
+		rnd:  rand.New(rand.NewSource(seed)),
+	}
+	l.height.Store(1)
+	return l
+}
+
+// Len returns the number of inserted keys.
+func (l *List) Len() int { return int(l.count.Load()) }
+
+// Bytes returns the total length of inserted keys.
+func (l *List) Bytes() int64 { return l.bytes.Load() }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rnd.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= k, filling prev[i] with the
+// rightmost node at level i whose key < k when prev is non-nil.
+func (l *List) findGE(k []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && l.cmp(next.key, k) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// findLT returns the rightmost node with key < k, or nil if none.
+func (l *List) findLT(k []byte) *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && l.cmp(next.key, k) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == l.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the last node in the list, or nil if empty.
+func (l *List) findLast() *node {
+	x := l.head
+	level := int(l.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == l.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// Insert adds key to the list. The caller must not insert a key equal to
+// one already present (the MemTable guarantees this by suffixing unique
+// sequence numbers) and must serialize Insert calls.
+func (l *List) Insert(key []byte) {
+	var prev [maxHeight]*node
+	l.findGE(key, &prev)
+
+	h := l.randomHeight()
+	if cur := int(l.height.Load()); h > cur {
+		for i := cur; i < h; i++ {
+			prev[i] = l.head
+		}
+		// Concurrent readers that observe the old height simply skip
+		// the new upper levels; publishing height before links is safe.
+		l.height.Store(int32(h))
+	}
+
+	n := newNode(key, h)
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	l.count.Add(1)
+	l.bytes.Add(int64(len(key)))
+}
+
+// Contains reports whether key is present.
+func (l *List) Contains(key []byte) bool {
+	n := l.findGE(key, nil)
+	return n != nil && l.cmp(n.key, key) == 0
+}
+
+// Iterator walks the list. It is valid only while positioned on a node.
+// Multiple iterators may be used concurrently with a single writer.
+type Iterator struct {
+	list *List
+	node *node
+}
+
+// NewIterator returns an unpositioned iterator.
+func (l *List) NewIterator() *Iterator { return &Iterator{list: l} }
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iterator) Valid() bool { return it.node != nil }
+
+// Key returns the current key; only valid when Valid().
+func (it *Iterator) Key() []byte { return it.node.key }
+
+// Next advances to the following key.
+func (it *Iterator) Next() { it.node = it.node.next[0].Load() }
+
+// Prev moves to the preceding key (O(log n)).
+func (it *Iterator) Prev() { it.node = it.list.findLT(it.node.key) }
+
+// SeekGE positions at the first key >= target.
+func (it *Iterator) SeekGE(target []byte) { it.node = it.list.findGE(target, nil) }
+
+// SeekLT positions at the last key < target.
+func (it *Iterator) SeekLT(target []byte) { it.node = it.list.findLT(target) }
+
+// SeekToFirst positions at the smallest key.
+func (it *Iterator) SeekToFirst() { it.node = it.list.head.next[0].Load() }
+
+// SeekToLast positions at the largest key.
+func (it *Iterator) SeekToLast() { it.node = it.list.findLast() }

@@ -1,0 +1,203 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func newList() *List { return New(bytes.Compare, 1) }
+
+func TestEmptyList(t *testing.T) {
+	l := newList()
+	if l.Len() != 0 {
+		t.Fatal("new list should be empty")
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("iterator over empty list must be invalid")
+	}
+	it.SeekToLast()
+	if it.Valid() {
+		t.Fatal("SeekToLast on empty list must be invalid")
+	}
+	if l.Contains([]byte("x")) {
+		t.Fatal("empty list contains nothing")
+	}
+}
+
+func TestInsertAndContains(t *testing.T) {
+	l := newList()
+	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
+	for _, k := range keys {
+		l.Insert([]byte(k))
+	}
+	if l.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if !l.Contains([]byte(k)) {
+			t.Errorf("missing %q", k)
+		}
+	}
+	if l.Contains([]byte("zulu")) {
+		t.Error("found key never inserted")
+	}
+}
+
+func TestIterationIsSorted(t *testing.T) {
+	l := newList()
+	var want []string
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(1000000))
+		if l.Contains([]byte(k)) {
+			continue
+		}
+		l.Insert([]byte(k))
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	it := l.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	l := newList()
+	for _, k := range []string{"b", "d", "f"} {
+		l.Insert([]byte(k))
+	}
+	cases := []struct{ target, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"d", "d"}, {"e", "f"}, {"f", "f"},
+	}
+	it := l.NewIterator()
+	for _, c := range cases {
+		it.SeekGE([]byte(c.target))
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Errorf("SeekGE(%q): got %q", c.target, it.Key())
+		}
+	}
+	it.SeekGE([]byte("g"))
+	if it.Valid() {
+		t.Error("SeekGE past end must be invalid")
+	}
+}
+
+func TestSeekLTAndPrev(t *testing.T) {
+	l := newList()
+	for _, k := range []string{"b", "d", "f"} {
+		l.Insert([]byte(k))
+	}
+	it := l.NewIterator()
+	it.SeekLT([]byte("e"))
+	if !it.Valid() || string(it.Key()) != "d" {
+		t.Fatalf("SeekLT(e) = %q", it.Key())
+	}
+	it.Prev()
+	if !it.Valid() || string(it.Key()) != "b" {
+		t.Fatalf("Prev = %q", it.Key())
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("Prev before first must invalidate")
+	}
+	it.SeekLT([]byte("b"))
+	if it.Valid() {
+		t.Fatal("SeekLT(first) must be invalid")
+	}
+}
+
+func TestSeekToLast(t *testing.T) {
+	l := newList()
+	for i := 0; i < 100; i++ {
+		l.Insert([]byte(fmt.Sprintf("%04d", i)))
+	}
+	it := l.NewIterator()
+	it.SeekToLast()
+	if !it.Valid() || string(it.Key()) != "0099" {
+		t.Fatalf("SeekToLast = %q", it.Key())
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	l := newList()
+	l.Insert([]byte("abc"))
+	l.Insert([]byte("defgh"))
+	if l.Bytes() != 8 {
+		t.Fatalf("Bytes = %d, want 8", l.Bytes())
+	}
+}
+
+// TestConcurrentReadersWithWriter exercises the single-writer /
+// multi-reader contract under the race detector.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	l := newList()
+	const total = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := l.NewIterator()
+				prev := []byte(nil)
+				for it.SeekToFirst(); it.Valid(); it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						t.Error("keys out of order during concurrent read")
+						return
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		l.Insert([]byte(fmt.Sprintf("k%08d", i*2654435761%total)))
+	}
+	close(stop)
+	wg.Wait()
+	if l.Len() != total {
+		t.Fatalf("Len = %d, want %d", l.Len(), total)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := newList()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert([]byte(fmt.Sprintf("key-%012d", i*2654435761)))
+	}
+}
+
+func BenchmarkSeekGE(b *testing.B) {
+	l := newList()
+	for i := 0; i < 100000; i++ {
+		l.Insert([]byte(fmt.Sprintf("key-%012d", i)))
+	}
+	it := l.NewIterator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.SeekGE([]byte(fmt.Sprintf("key-%012d", i%100000)))
+	}
+}

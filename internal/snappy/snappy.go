@@ -1,0 +1,326 @@
+// Package snappy implements the Snappy block compression format from
+// scratch using only the standard library. The paper's engine compresses
+// and decompresses SSTable data blocks with Snappy (§V-A: "the Snappy
+// compression method is often applied to save storage space. As a result,
+// decompression is needed in Decoder"); both the software store and the
+// FCAE simulator use this codec so output tables stay format-compatible.
+//
+// The implemented format is the raw block format: a uvarint preamble with
+// the decoded length followed by a sequence of literal and copy elements.
+package snappy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var (
+	// ErrCorrupt is returned when decoding malformed input.
+	ErrCorrupt = errors.New("snappy: corrupt input")
+	// ErrTooLarge is returned when the decoded length exceeds the
+	// implementation limit.
+	ErrTooLarge = errors.New("snappy: decoded block is too large")
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	// maxBlockSize is the largest source block compressed as one unit;
+	// inputs larger than this are split (matching the reference codec).
+	maxBlockSize = 65536
+
+	// maxDecodedLen bounds decode allocations against hostile input.
+	maxDecodedLen = 1 << 30
+
+	inputMargin            = 16 - 1
+	minNonLiteralBlockSize = 1 + 1 + inputMargin
+)
+
+// MaxEncodedLen returns the worst-case encoded length for a source of n
+// bytes, or -1 if n is negative or too large.
+func MaxEncodedLen(n int) int {
+	if n < 0 || uint64(n) > 0xffffffff {
+		return -1
+	}
+	// Preamble plus one literal tag per 6 source bytes in the worst case,
+	// matching the reference formula 32 + n + n/6.
+	return 32 + n + n/6
+}
+
+// DecodedLen returns the decoded length of src without decoding it.
+func DecodedLen(src []byte) (int, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 {
+		return 0, ErrCorrupt
+	}
+	if n > maxDecodedLen {
+		return 0, ErrTooLarge
+	}
+	return int(n), nil
+}
+
+// Decode decompresses src, appending nothing: dst is used as the output
+// buffer when large enough, otherwise a new buffer is allocated. It returns
+// the decoded bytes.
+func Decode(dst, src []byte) ([]byte, error) {
+	dLen, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	_, w := binary.Uvarint(src)
+	src = src[w:]
+	if cap(dst) < dLen {
+		dst = make([]byte, dLen)
+	} else {
+		dst = dst[:dLen]
+	}
+
+	var d, s int
+	for s < len(src) {
+		tag := src[s]
+		switch tag & 0x03 {
+		case tagLiteral:
+			x := int(tag >> 2)
+			s++
+			if x >= 60 {
+				extra := x - 59
+				if s+extra > len(src) {
+					return nil, ErrCorrupt
+				}
+				x = 0
+				for i := extra - 1; i >= 0; i-- {
+					x = x<<8 | int(src[s+i])
+				}
+				s += extra
+			}
+			length := x + 1
+			if length <= 0 || s+length > len(src) || d+length > dLen {
+				return nil, ErrCorrupt
+			}
+			copy(dst[d:], src[s:s+length])
+			d += length
+			s += length
+
+		case tagCopy1:
+			if s+2 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2)&0x07 + 4
+			offset := int(tag>>5)<<8 | int(src[s+1])
+			s += 2
+			if err := copyMatch(dst, &d, dLen, offset, length); err != nil {
+				return nil, err
+			}
+
+		case tagCopy2:
+			if s+3 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint16(src[s+1 : s+3]))
+			s += 3
+			if err := copyMatch(dst, &d, dLen, offset, length); err != nil {
+				return nil, err
+			}
+
+		case tagCopy4:
+			if s+5 > len(src) {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint32(src[s+1 : s+5]))
+			s += 5
+			if err := copyMatch(dst, &d, dLen, offset, length); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d != dLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// copyMatch applies a back-reference copy, which may self-overlap.
+func copyMatch(dst []byte, d *int, dLen, offset, length int) error {
+	if offset <= 0 || offset > *d || *d+length > dLen {
+		return ErrCorrupt
+	}
+	for i := 0; i < length; i++ {
+		dst[*d+i] = dst[*d+i-offset]
+	}
+	*d += length
+	return nil
+}
+
+// Encode compresses src, returning the encoded block. dst is used when
+// large enough.
+func Encode(dst, src []byte) []byte {
+	n := MaxEncodedLen(len(src))
+	if n < 0 {
+		panic("snappy: source too large")
+	}
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+
+	d := binary.PutUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		p := src
+		if len(p) > maxBlockSize {
+			p, src = p[:maxBlockSize], src[maxBlockSize:]
+		} else {
+			src = nil
+		}
+		if len(p) < minNonLiteralBlockSize {
+			d += emitLiteral(dst[d:], p)
+		} else {
+			d += encodeBlock(dst[d:], p)
+		}
+	}
+	return dst[:d]
+}
+
+func emitLiteral(dst, lit []byte) int {
+	i := 0
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst[0] = byte(n)<<2 | tagLiteral
+		i = 1
+	case n < 1<<8:
+		dst[0] = 60<<2 | tagLiteral
+		dst[1] = byte(n)
+		i = 2
+	case n < 1<<16:
+		dst[0] = 61<<2 | tagLiteral
+		dst[1] = byte(n)
+		dst[2] = byte(n >> 8)
+		i = 3
+	case n < 1<<24:
+		dst[0] = 62<<2 | tagLiteral
+		dst[1] = byte(n)
+		dst[2] = byte(n >> 8)
+		dst[3] = byte(n >> 16)
+		i = 4
+	default:
+		dst[0] = 63<<2 | tagLiteral
+		binary.LittleEndian.PutUint32(dst[1:], uint32(n))
+		i = 5
+	}
+	return i + copy(dst[i:], lit)
+}
+
+// emitCopy writes copy elements for a match of the given offset/length.
+func emitCopy(dst []byte, offset, length int) int {
+	i := 0
+	// Emit 64-byte copies while the remaining length is large.
+	for length >= 68 {
+		dst[i] = 63<<2 | tagCopy2
+		binary.LittleEndian.PutUint16(dst[i+1:], uint16(offset))
+		i += 3
+		length -= 64
+	}
+	if length > 64 {
+		// Leave at least 4 bytes for the final copy.
+		dst[i] = 59<<2 | tagCopy2
+		binary.LittleEndian.PutUint16(dst[i+1:], uint16(offset))
+		i += 3
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 {
+		dst[i] = byte(length-1)<<2 | tagCopy2
+		binary.LittleEndian.PutUint16(dst[i+1:], uint16(offset))
+		return i + 3
+	}
+	dst[i] = byte(offset>>8)<<5 | byte(length-4)<<2 | tagCopy1
+	dst[i+1] = byte(offset)
+	return i + 2
+}
+
+const (
+	hashTableBits = 14
+	hashTableSize = 1 << hashTableBits
+)
+
+func hash4(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashTableBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i : i+4])
+}
+
+// encodeBlock compresses one block (len(src) <= maxBlockSize) using a
+// greedy hash-chain match finder like the reference implementation.
+func encodeBlock(dst, src []byte) int {
+	var table [hashTableSize]uint16
+
+	sLimit := len(src) - inputMargin
+	d := 0
+	nextEmit := 0
+	s := 1
+	nextHash := hash4(load32(src, s))
+
+	for {
+		skip := 32
+		nextS := s
+		candidate := 0
+		for {
+			s = nextS
+			bytesBetweenHashLookups := skip >> 5
+			nextS = s + bytesBetweenHashLookups
+			skip += bytesBetweenHashLookups
+			if nextS > sLimit {
+				goto emitRemainder
+			}
+			candidate = int(table[nextHash])
+			table[nextHash] = uint16(s)
+			nextHash = hash4(load32(src, nextS))
+			if load32(src, s) == load32(src, candidate) {
+				break
+			}
+		}
+
+		d += emitLiteral(dst[d:], src[nextEmit:s])
+
+		for {
+			base := s
+			s += 4
+			i := candidate + 4
+			for s < len(src) && src[i] == src[s] {
+				i++
+				s++
+			}
+			d += emitCopy(dst[d:], base-candidate, s-base)
+			nextEmit = s
+			if s >= sLimit {
+				goto emitRemainder
+			}
+
+			x := load32(src, s-1)
+			prevHash := hash4(x)
+			table[prevHash] = uint16(s - 1)
+			x = load32(src, s)
+			currHash := hash4(x)
+			candidate = int(table[currHash])
+			table[currHash] = uint16(s)
+			if x != load32(src, candidate) {
+				nextHash = hash4(load32(src, s+1))
+				s++
+				break
+			}
+		}
+	}
+
+emitRemainder:
+	if nextEmit < len(src) {
+		d += emitLiteral(dst[d:], src[nextEmit:])
+	}
+	return d
+}

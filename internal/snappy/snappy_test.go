@@ -1,0 +1,177 @@
+package snappy
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := Encode(nil, src)
+	got, err := Decode(nil, enc)
+	if err != nil {
+		t.Fatalf("Decode after Encode(%d bytes): %v", len(src), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(got))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripShort(t *testing.T) {
+	roundTrip(t, []byte("a"))
+	roundTrip(t, []byte("hello world"))
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
+	enc := Encode(nil, src)
+	if len(enc) >= len(src)/4 {
+		t.Errorf("repetitive text compressed to %d of %d bytes; expected strong compression", len(enc), len(src))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := make([]byte, 100000)
+	rng.Read(src)
+	enc := Encode(nil, src)
+	if len(enc) > MaxEncodedLen(len(src)) {
+		t.Fatalf("encoded %d bytes exceeds MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	src := make([]byte, 256*7)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripLongRuns(t *testing.T) {
+	// Long runs exercise the 64-byte copy loop and overlapping copies.
+	roundTrip(t, bytes.Repeat([]byte{0xaa}, 1<<16))
+	roundTrip(t, bytes.Repeat([]byte("ab"), 40000))
+}
+
+func TestRoundTripMultiBlock(t *testing.T) {
+	// Inputs above 64 KiB are split into multiple encoded blocks.
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, 3*65536+17)
+	for i := range src {
+		if rng.Intn(4) == 0 {
+			src[i] = byte(rng.Intn(256))
+		} else {
+			src[i] = byte(i % 31)
+		}
+	}
+	roundTrip(t, src)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		enc := Encode(nil, src)
+		got, err := Decode(nil, enc)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripStructured(t *testing.T) {
+	// Structured inputs with repeats exercise the copy paths more than
+	// quick's random bytes.
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"alpha", "beta", "gamma", "delta", "zipf", "0000001"}
+	for i := 0; i < 300; i++ {
+		var b bytes.Buffer
+		n := rng.Intn(5000)
+		for b.Len() < n {
+			b.WriteString(words[rng.Intn(len(words))])
+		}
+		roundTrip(t, b.Bytes())
+	}
+}
+
+func TestDecodedLen(t *testing.T) {
+	src := []byte("some text worth compressing, some text worth compressing")
+	enc := Encode(nil, src)
+	n, err := DecodedLen(enc)
+	if err != nil || n != len(src) {
+		t.Fatalf("DecodedLen = %d, %v; want %d", n, err, len(src))
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{},                       // no preamble
+		{0x80},                   // truncated varint
+		{0x03, 0x0c, 'a'},        // literal longer than remaining input
+		{0x02, 0x01, 0x01},       // copy with offset 257 > produced bytes... offset encoding
+		{0x05, 0xf0, 0xff},       // literal length overruns
+		{0x04, 0x0d, 0x01, 0x00}, // copy before any output
+		{0x01, 0x00, 'a', 'b'},   // trailing garbage after full output
+	}
+	for i, c := range cases {
+		if _, err := Decode(nil, c); err == nil {
+			t.Errorf("case %d: Decode accepted corrupt input %x", i, c)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeLength(t *testing.T) {
+	// Preamble claiming 2^40 bytes must not allocate.
+	pre := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := Decode(nil, pre); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMaxEncodedLen(t *testing.T) {
+	if MaxEncodedLen(-1) != -1 {
+		t.Error("negative length must return -1")
+	}
+	if MaxEncodedLen(0) <= 0 {
+		t.Error("zero length still needs preamble space")
+	}
+}
+
+func TestEncodeReusesDst(t *testing.T) {
+	src := []byte("reuse me, reuse me, reuse me")
+	dst := make([]byte, 0, MaxEncodedLen(len(src)))
+	enc := Encode(dst, src)
+	if &enc[0] != &dst[:1][0] {
+		t.Error("Encode should reuse a sufficiently large dst")
+	}
+}
+
+func BenchmarkEncode4KBlock(b *testing.B) {
+	src := bytes.Repeat([]byte("key-000001value-padding-"), 4096/24)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Encode(dst[:0], src)
+	}
+}
+
+func BenchmarkDecode4KBlock(b *testing.B) {
+	src := bytes.Repeat([]byte("key-000001value-padding-"), 4096/24)
+	enc := Encode(nil, src)
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	var err error
+	for i := 0; i < b.N; i++ {
+		dst, err = Decode(dst, enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

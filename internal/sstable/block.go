@@ -1,0 +1,267 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// blockBuilder assembles one block of prefix-compressed entries:
+//
+//	shared   uvarint // bytes shared with the previous key
+//	unshared uvarint
+//	vlen     uvarint
+//	key suffix, value
+//
+// followed by the uint32 restart offsets and their count. Keys are fully
+// stored at every restart point so iterators can binary-search restarts.
+type blockBuilder struct {
+	restartInterval int
+	buf             []byte
+	restarts        []uint32
+	counter         int
+	lastKey         []byte
+	entries         int
+}
+
+func newBlockBuilder(restartInterval int) *blockBuilder {
+	b := &blockBuilder{restartInterval: restartInterval}
+	b.reset()
+	return b
+}
+
+func (b *blockBuilder) reset() {
+	b.buf = b.buf[:0]
+	b.restarts = append(b.restarts[:0], 0)
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+	b.entries = 0
+}
+
+func (b *blockBuilder) empty() bool { return len(b.buf) == 0 }
+
+// estimatedSize returns the finished-block size if finish were called now.
+func (b *blockBuilder) estimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// add appends an entry; keys must arrive in strictly increasing order.
+func (b *blockBuilder) add(key, value []byte) {
+	shared := 0
+	if b.counter < b.restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	var tmp [binary.MaxVarintLen32]byte
+	b.buf = append(b.buf, tmp[:binary.PutUvarint(tmp[:], uint64(shared))]...)
+	b.buf = append(b.buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(key)-shared))]...)
+	b.buf = append(b.buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(value)))]...)
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+	b.entries++
+}
+
+// finish appends the restart array and returns the complete block contents.
+func (b *blockBuilder) finish() []byte {
+	var tmp [4]byte
+	for _, r := range b.restarts {
+		binary.LittleEndian.PutUint32(tmp[:], r)
+		b.buf = append(b.buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b.restarts)))
+	return append(b.buf, tmp[:]...)
+}
+
+// block wraps decoded block contents for iteration.
+type block struct {
+	data       []byte
+	restarts   []uint32
+	restartOff int
+	cmp        func(a, b []byte) int
+}
+
+func newBlock(contents []byte, cmp func(a, b []byte) int) (*block, error) {
+	if len(contents) < 4 {
+		return nil, fmt.Errorf("%w: block too small", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint32(contents[len(contents)-4:]))
+	restartOff := len(contents) - 4 - 4*n
+	if n < 1 || restartOff < 0 {
+		return nil, fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
+	}
+	restarts := make([]uint32, n)
+	for i := range restarts {
+		restarts[i] = binary.LittleEndian.Uint32(contents[restartOff+4*i:])
+	}
+	return &block{data: contents[:restartOff], restarts: restarts, restartOff: restartOff, cmp: cmp}, nil
+}
+
+// blockIter iterates over a decoded block.
+type blockIter struct {
+	b     *block
+	off   int // offset of the NEXT entry to decode
+	key   []byte
+	val   []byte
+	valid bool
+	err   error
+}
+
+func (b *block) iter() *blockIter { return &blockIter{b: b} }
+
+func (it *blockIter) Valid() bool   { return it.valid && it.err == nil }
+func (it *blockIter) Key() []byte   { return it.key }
+func (it *blockIter) Value() []byte { return it.val }
+func (it *blockIter) Error() error  { return it.err }
+
+// parseNext decodes the entry at it.off, updating key/val.
+func (it *blockIter) parseNext() bool {
+	if it.off >= len(it.b.data) {
+		it.valid = false
+		return false
+	}
+	data := it.b.data[it.off:]
+	shared, n0 := binary.Uvarint(data)
+	unshared, n1 := binary.Uvarint(data[n0:])
+	vlen, n2 := binary.Uvarint(data[n0+n1:])
+	if n0 <= 0 || n1 <= 0 || n2 <= 0 {
+		it.corrupt("bad entry header")
+		return false
+	}
+	hdr := n0 + n1 + n2
+	if int(shared) > len(it.key) || hdr+int(unshared)+int(vlen) > len(data) {
+		it.corrupt("entry overruns block")
+		return false
+	}
+	it.key = append(it.key[:shared], data[hdr:hdr+int(unshared)]...)
+	it.val = data[hdr+int(unshared) : hdr+int(unshared)+int(vlen)]
+	it.off += hdr + int(unshared) + int(vlen)
+	it.valid = true
+	return true
+}
+
+func (it *blockIter) corrupt(msg string) {
+	it.err = fmt.Errorf("%w: %s", ErrCorrupt, msg)
+	it.valid = false
+}
+
+// SeekToFirst positions at the first entry.
+func (it *blockIter) SeekToFirst() {
+	it.off = 0
+	it.key = it.key[:0]
+	it.parseNext()
+}
+
+// Next advances to the following entry.
+func (it *blockIter) Next() {
+	if it.err != nil {
+		return
+	}
+	it.parseNext()
+}
+
+// SeekGE positions at the first entry with key >= target, binary-searching
+// the restart array and then scanning.
+func (it *blockIter) SeekGE(target []byte) {
+	if it.err != nil {
+		return
+	}
+	// Find the last restart whose key < target.
+	i := sort.Search(len(it.b.restarts), func(i int) bool {
+		k, ok := it.b.keyAtRestart(i)
+		if !ok {
+			return true
+		}
+		return it.b.cmp(k, target) >= 0
+	})
+	if i > 0 {
+		i--
+	}
+	it.off = int(it.b.restarts[i])
+	it.key = it.key[:0]
+	for it.parseNext() {
+		if it.b.cmp(it.key, target) >= 0 {
+			return
+		}
+	}
+}
+
+// SeekToLast positions at the final entry.
+func (it *blockIter) SeekToLast() {
+	it.off = int(it.b.restarts[len(it.b.restarts)-1])
+	it.key = it.key[:0]
+	for it.parseNext() {
+		if it.off >= len(it.b.data) {
+			return
+		}
+	}
+}
+
+// Prev steps backwards by rescanning from the nearest earlier restart.
+func (it *blockIter) Prev() {
+	if it.err != nil || !it.valid {
+		return
+	}
+	// Offset where the current entry started is unknown; rescan from the
+	// restart before the current position and stop one entry short.
+	cur := append([]byte(nil), it.key...)
+	i := sort.Search(len(it.b.restarts), func(i int) bool {
+		k, ok := it.b.keyAtRestart(i)
+		if !ok {
+			return true
+		}
+		return it.b.cmp(k, cur) >= 0
+	})
+	if i == 0 {
+		it.valid = false
+		return
+	}
+	it.off = int(it.b.restarts[i-1])
+	it.key = it.key[:0]
+	var prevKey, prevVal []byte
+	found := false
+	for it.parseNext() {
+		if it.b.cmp(it.key, cur) >= 0 {
+			break
+		}
+		prevKey = append(prevKey[:0], it.key...)
+		prevVal = it.val
+		found = true
+	}
+	if !found {
+		it.valid = false
+		return
+	}
+	it.key = append(it.key[:0], prevKey...)
+	it.val = prevVal
+	it.valid = true
+}
+
+// keyAtRestart decodes the full key stored at restart index i.
+func (b *block) keyAtRestart(i int) ([]byte, bool) {
+	off := int(b.restarts[i])
+	if off >= len(b.data) {
+		return nil, false
+	}
+	data := b.data[off:]
+	shared, n0 := binary.Uvarint(data)
+	unshared, n1 := binary.Uvarint(data[n0:])
+	_, n2 := binary.Uvarint(data[n0+n1:])
+	if n0 <= 0 || n1 <= 0 || n2 <= 0 || shared != 0 {
+		return nil, false
+	}
+	hdr := n0 + n1 + n2
+	if hdr+int(unshared) > len(data) {
+		return nil, false
+	}
+	return data[hdr : hdr+int(unshared)], true
+}

@@ -1,0 +1,195 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fcae/internal/keys"
+)
+
+// TestQuickTableRoundTrip: for random sorted key sets, building a table
+// and scanning it returns exactly the input (property-based).
+func TestQuickTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	f := func(seed int64, blockExp uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(400)
+		users := map[string]bool{}
+		for i := 0; i < n; i++ {
+			users[fmt.Sprintf("key-%06d", r.Intn(5000))] = true
+		}
+		var sorted []string
+		for u := range users {
+			sorted = append(sorted, u)
+		}
+		sort.Strings(sorted)
+
+		opts := Options{
+			BlockSize:   1 << (6 + blockExp%8), // 64B..8KB blocks
+			Compression: SnappyCompression,
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, opts)
+		type ent struct{ k, v []byte }
+		var want []ent
+		for i, u := range sorted {
+			ik := keys.MakeInternal(nil, []byte(u), uint64(i+1), keys.KindSet)
+			val := make([]byte, r.Intn(200))
+			r.Read(val)
+			if err := w.Add(ik, val); err != nil {
+				return false
+			}
+			want = append(want, ent{append([]byte(nil), ik...), val})
+		}
+		if _, err := w.Finish(); err != nil {
+			return false
+		}
+		rd, err := NewReader(memFile(buf.Bytes()), int64(buf.Len()), Options{}, nil, 1)
+		if err != nil {
+			return false
+		}
+		it := rd.NewIterator()
+		i := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if i >= len(want) || !bytes.Equal(it.Key(), want[i].k) || !bytes.Equal(it.Value(), want[i].v) {
+				return false
+			}
+			i++
+		}
+		return it.Error() == nil && i == len(want)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeekMatchesLinearScan: SeekGE agrees with a linear scan for
+// random targets.
+func TestQuickSeekMatchesLinearScan(t *testing.T) {
+	entries := seqEntries(1000, 30)
+	f, _ := buildTable(t, Options{BlockSize: 512, Compression: SnappyCompression}, entries)
+	r, err := NewReader(f, int64(len(f)), Options{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	it := r.NewIterator()
+	for trial := 0; trial < 300; trial++ {
+		target := []byte(fmt.Sprintf("key%08d", rng.Intn(1200)))
+		ik := keys.MakeInternal(nil, target, keys.MaxSeq, keys.KindSet)
+		it.SeekGE(ik)
+		// Model answer: first entry with user key >= target.
+		wantIdx := sort.Search(len(entries), func(i int) bool {
+			return entries[i].user >= string(target)
+		})
+		if wantIdx == len(entries) {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%q) should be invalid, got %q", target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(keys.UserKey(it.Key())) != entries[wantIdx].user {
+			t.Fatalf("SeekGE(%q) = %q, want %q", target, it.Key(), entries[wantIdx].user)
+		}
+	}
+}
+
+// TestQuickPrevNextInverse: Prev undoes Next anywhere in the table.
+func TestQuickPrevNextInverse(t *testing.T) {
+	entries := seqEntries(500, 40)
+	f, _ := buildTable(t, Options{BlockSize: 256}, entries)
+	r, err := NewReader(f, int64(len(f)), Options{}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	it := r.NewIterator()
+	for trial := 0; trial < 100; trial++ {
+		i := rng.Intn(len(entries) - 1)
+		ik := keys.MakeInternal(nil, []byte(entries[i].user), keys.MaxSeq, keys.KindSet)
+		it.SeekGE(ik)
+		if !it.Valid() {
+			t.Fatalf("SeekGE(%s) invalid", entries[i].user)
+		}
+		it.Next()
+		if !it.Valid() {
+			continue
+		}
+		it.Prev()
+		if !it.Valid() || string(keys.UserKey(it.Key())) != entries[i].user {
+			t.Fatalf("Prev(Next(%s)) = %q", entries[i].user, it.Key())
+		}
+	}
+}
+
+func BenchmarkTableBuild(b *testing.B) {
+	entries := seqEntries(10000, 100)
+	b.SetBytes(int64(10000 * 130))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Options{Compression: SnappyCompression, FilterBitsPerKey: 10})
+		for _, e := range entries {
+			ik := keys.MakeInternal(nil, []byte(e.user), e.seq, e.kind)
+			if err := w.Add(ik, []byte(e.value)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableScan(b *testing.B) {
+	entries := seqEntries(10000, 100)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{Compression: SnappyCompression})
+	for _, e := range entries {
+		ik := keys.MakeInternal(nil, []byte(e.user), e.seq, e.kind)
+		w.Add(ik, []byte(e.value))
+	}
+	w.Finish()
+	r, err := NewReader(memFile(buf.Bytes()), int64(buf.Len()), Options{}, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(10000 * 130))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := r.NewIterator()
+		n := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			n++
+		}
+		if n != 10000 {
+			b.Fatal("short scan")
+		}
+	}
+}
+
+func BenchmarkTableGet(b *testing.B) {
+	entries := seqEntries(10000, 100)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{Compression: SnappyCompression, FilterBitsPerKey: 10})
+	for _, e := range entries {
+		ik := keys.MakeInternal(nil, []byte(e.user), e.seq, e.kind)
+		w.Add(ik, []byte(e.value))
+	}
+	w.Finish()
+	r, err := NewReader(memFile(buf.Bytes()), int64(buf.Len()), Options{}, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		if _, _, ok, err := r.Get([]byte(e.user), keys.MaxSeq); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}

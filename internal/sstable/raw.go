@@ -1,0 +1,232 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fcae/internal/bloom"
+	"fcae/internal/crc"
+	"fcae/internal/keys"
+)
+
+// Raw block access for the FCAE engine: the host splits input tables into
+// index entries plus raw (still compressed) data blocks when building the
+// device memory images, and recombines the engine's output blocks into
+// standard tables afterwards (paper §V-B: "the host is in charge of
+// combining data blocks with index blocks into new formatted SSTables").
+
+// RawBlock is one data block as stored in the file: the compression-type
+// byte and the (possibly compressed) payload, checksum already verified.
+type RawBlock struct {
+	// IndexKey is the index entry's separator key (>= every key in the
+	// block, < every key in the next block).
+	IndexKey []byte
+	CType    byte
+	Payload  []byte
+}
+
+// VisitRawBlocks calls visit for every data block in index order.
+func (r *Reader) VisitRawBlocks(visit func(b RawBlock) error) error {
+	it := r.index.iter()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		h, _, err := DecodeHandle(it.Value())
+		if err != nil {
+			return err
+		}
+		raw := make([]byte, h.Size+BlockTrailerSize)
+		if _, err := r.f.ReadAt(raw, int64(h.Offset)); err != nil {
+			return err
+		}
+		payload := raw[:h.Size]
+		trailer := raw[h.Size:]
+		sum := crc.Value(payload)
+		sum = crc.Extend(sum, trailer[:1])
+		if sum != binary.LittleEndian.Uint32(trailer[1:]) {
+			return fmt.Errorf("%w: raw block checksum mismatch at %d", ErrCorrupt, h.Offset)
+		}
+		if err := visit(RawBlock{
+			IndexKey: append([]byte(nil), it.Key()...),
+			CType:    trailer[0],
+			Payload:  payload,
+		}); err != nil {
+			return err
+		}
+	}
+	return it.Error()
+}
+
+// BlockIter iterates the entries of one decoded data block's contents,
+// exposed for the engine's Data Block Decoder.
+type BlockIter struct {
+	inner *blockIter
+}
+
+// NewBlockIter parses contents (already decompressed) and returns an
+// iterator positioned before the first entry.
+func NewBlockIter(contents []byte) (*BlockIter, error) {
+	b, err := newBlock(contents, keys.Compare)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockIter{inner: b.iter()}, nil
+}
+
+// SeekToFirst positions at the first entry.
+func (it *BlockIter) SeekToFirst() { it.inner.SeekToFirst() }
+
+// Next advances to the following entry.
+func (it *BlockIter) Next() { it.inner.Next() }
+
+// Valid reports whether an entry is available.
+func (it *BlockIter) Valid() bool { return it.inner.Valid() }
+
+// Key returns the current internal key.
+func (it *BlockIter) Key() []byte { return it.inner.Key() }
+
+// Value returns the current value.
+func (it *BlockIter) Value() []byte { return it.inner.Value() }
+
+// Error returns the first parse error.
+func (it *BlockIter) Error() error { return it.inner.Error() }
+
+// BlockWriter builds one data block's contents in the standard format,
+// exposed for the engine's Data Block Encoder.
+type BlockWriter struct {
+	b *blockBuilder
+}
+
+// NewBlockWriter returns an empty builder with the given restart interval
+// (0 selects the default of 16).
+func NewBlockWriter(restartInterval int) *BlockWriter {
+	if restartInterval <= 0 {
+		restartInterval = 16
+	}
+	return &BlockWriter{b: newBlockBuilder(restartInterval)}
+}
+
+// Add appends an entry; keys must strictly increase.
+func (w *BlockWriter) Add(key, value []byte) { w.b.add(key, value) }
+
+// EstimatedSize returns the finished size of the block so far.
+func (w *BlockWriter) EstimatedSize() int { return w.b.estimatedSize() }
+
+// Entries returns the number of entries added.
+func (w *BlockWriter) Entries() int { return w.b.entries }
+
+// Empty reports whether nothing has been added.
+func (w *BlockWriter) Empty() bool { return w.b.empty() }
+
+// Finish returns the completed block contents and resets the builder.
+func (w *BlockWriter) Finish() []byte {
+	out := append([]byte(nil), w.b.finish()...)
+	w.b.reset()
+	return out
+}
+
+// Assembler writes a standard table file from pre-encoded raw data blocks,
+// the host-side combiner for engine output. Block last-keys double as
+// index keys (they satisfy the separator contract exactly).
+type Assembler struct {
+	w          *Writer
+	filterKeys [][]byte
+	bitsPerKey int
+}
+
+// NewAssembler returns an assembler writing to w. opts.Compression is
+// ignored (blocks arrive already encoded); FilterBitsPerKey attaches a
+// bloom filter when filter keys are supplied.
+func NewAssembler(w io.Writer, opts Options) *Assembler {
+	opts = opts.withDefaults()
+	return &Assembler{
+		w:          NewWriter(w, opts),
+		bitsPerKey: opts.FilterBitsPerKey,
+	}
+}
+
+// AddRawBlock appends one pre-encoded block. lastKey is the block's final
+// internal key; ctype/payload are written verbatim with a fresh checksum
+// trailer.
+func (a *Assembler) AddRawBlock(lastKey []byte, ctype byte, payload []byte, entries int) error {
+	if a.w.err != nil {
+		return a.w.err
+	}
+	a.w.flushPendingIndexRaw()
+	h, err := a.w.writePreEncodedBlock(ctype, payload)
+	if err != nil {
+		a.w.err = err
+		return err
+	}
+	a.w.pending = h
+	a.w.pendingKey = append(a.w.pendingKey[:0], lastKey...)
+	a.w.hasPending = true
+	a.w.stats.DataBlocks++
+	a.w.stats.Entries += entries
+	if a.w.stats.Smallest == nil {
+		// Smallest is patched by SetBounds; keep a placeholder.
+		a.w.stats.Smallest = append([]byte(nil), lastKey...)
+	}
+	a.w.lastKey = append(a.w.lastKey[:0], lastKey...)
+	return nil
+}
+
+// SetBounds records the table's smallest and largest internal keys (from
+// the engine's MetaOut).
+func (a *Assembler) SetBounds(smallest, largest []byte) {
+	a.w.stats.Smallest = append([]byte(nil), smallest...)
+	a.w.stats.Largest = append([]byte(nil), largest...)
+}
+
+// AddFilterKey registers a user key for the bloom filter.
+func (a *Assembler) AddFilterKey(userKey []byte) {
+	if a.bitsPerKey > 0 {
+		a.filterKeys = append(a.filterKeys, append([]byte(nil), userKey...))
+	}
+}
+
+// Finish writes the index block, filter and footer.
+func (a *Assembler) Finish() (WriterStats, error) {
+	a.w.filterKeys = a.filterKeys
+	if a.bitsPerKey > 0 {
+		a.w.opts.FilterBitsPerKey = a.bitsPerKey
+		a.w.filter = bloomFor(a.bitsPerKey)
+	}
+	largest := append([]byte(nil), a.w.stats.Largest...)
+	stats, err := a.w.Finish()
+	if err == nil && largest != nil {
+		stats.Largest = largest
+		a.w.stats.Largest = largest
+	}
+	return stats, err
+}
+
+func bloomFor(bits int) bloom.Filter { return bloom.New(bits) }
+
+// flushPendingIndexRaw emits the pending index entry using the stored last
+// key verbatim (no separator shortening; the engine already supplies
+// minimal keys).
+func (w *Writer) flushPendingIndexRaw() {
+	if !w.hasPending {
+		return
+	}
+	w.index.add(w.pendingKey, w.pending.EncodeTo(nil))
+	w.hasPending = false
+}
+
+// writePreEncodedBlock stores an already-compressed block payload.
+func (w *Writer) writePreEncodedBlock(ctype byte, payload []byte) (Handle, error) {
+	h := Handle{Offset: uint64(w.offset), Size: uint64(len(payload))}
+	var trailer [BlockTrailerSize]byte
+	trailer[0] = ctype
+	sum := crc.Value(payload)
+	sum = crc.Extend(sum, trailer[:1])
+	binary.LittleEndian.PutUint32(trailer[1:], sum)
+	if _, err := w.w.Write(payload); err != nil {
+		return Handle{}, err
+	}
+	if _, err := w.w.Write(trailer[:]); err != nil {
+		return Handle{}, err
+	}
+	w.offset += int64(len(payload)) + BlockTrailerSize
+	return h, nil
+}

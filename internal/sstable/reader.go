@@ -1,0 +1,302 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"fcae/internal/bloom"
+	"fcae/internal/cache"
+	"fcae/internal/crc"
+	"fcae/internal/keys"
+	"fcae/internal/snappy"
+)
+
+// Reader provides random access to a finished table.
+type Reader struct {
+	f       io.ReaderAt
+	size    int64
+	opts    Options
+	index   *block
+	filter  []byte
+	bloomFn bloom.Filter
+	cache   *cache.Cache
+	cacheID uint64
+}
+
+// NewReader opens the table stored in f. blockCache may be nil; cacheID
+// must be unique per file when a cache is shared.
+func NewReader(f io.ReaderAt, size int64, opts Options, blockCache *cache.Cache, cacheID uint64) (*Reader, error) {
+	opts = opts.withDefaults()
+	r := &Reader{f: f, size: size, opts: opts, cache: blockCache, cacheID: cacheID}
+	if size < FooterSize {
+		return nil, fmt.Errorf("%w: file of %d bytes has no footer", ErrCorrupt, size)
+	}
+	var fbuf [FooterSize]byte
+	if _, err := f.ReadAt(fbuf[:], size-FooterSize); err != nil {
+		return nil, err
+	}
+	footer, err := DecodeFooter(fbuf[:])
+	if err != nil {
+		return nil, err
+	}
+	idxContents, err := r.readBlockContents(footer.Index)
+	if err != nil {
+		return nil, err
+	}
+	if r.index, err = newBlock(idxContents, keys.Compare); err != nil {
+		return nil, err
+	}
+	if err := r.loadFilter(footer.MetaIndex); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) loadFilter(metaH Handle) error {
+	if metaH.Size == 0 {
+		return nil
+	}
+	contents, err := r.readBlockContents(metaH)
+	if err != nil {
+		return err
+	}
+	meta, err := newBlock(contents, bytes.Compare)
+	if err != nil {
+		return err
+	}
+	it := meta.iter()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if bytes.HasPrefix(it.Key(), []byte("filter.")) {
+			h, _, err := DecodeHandle(it.Value())
+			if err != nil {
+				return err
+			}
+			fb, err := r.readBlockContents(h)
+			if err != nil {
+				return err
+			}
+			r.filter = fb
+			r.bloomFn = bloom.New(10)
+			return nil
+		}
+	}
+	return it.Error()
+}
+
+// readBlockContents reads, verifies and decompresses the block at h,
+// consulting the block cache.
+func (r *Reader) readBlockContents(h Handle) ([]byte, error) {
+	if r.cache != nil {
+		if v, ok := r.cache.Get(cache.Key{ID: r.cacheID, Offset: h.Offset}); ok {
+			return v, nil
+		}
+	}
+	raw := make([]byte, h.Size+BlockTrailerSize)
+	if _, err := r.f.ReadAt(raw, int64(h.Offset)); err != nil {
+		return nil, err
+	}
+	payload := raw[:h.Size]
+	trailer := raw[h.Size:]
+	sum := crc.Value(payload)
+	sum = crc.Extend(sum, trailer[:1])
+	if sum != binary.LittleEndian.Uint32(trailer[1:]) {
+		return nil, fmt.Errorf("%w: block checksum mismatch at offset %d", ErrCorrupt, h.Offset)
+	}
+	var contents []byte
+	switch Compression(trailer[0]) {
+	case NoCompression:
+		contents = payload
+	case SnappyCompression:
+		var err error
+		contents, err = snappy.Decode(nil, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown compression %d", ErrCorrupt, trailer[0])
+	}
+	if r.cache != nil {
+		r.cache.Set(cache.Key{ID: r.cacheID, Offset: h.Offset}, contents)
+	}
+	return contents, nil
+}
+
+// MayContain consults the table bloom filter for a user key. It returns
+// true when no filter is present.
+func (r *Reader) MayContain(userKey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.bloomFn.MayContain(r.filter, userKey)
+}
+
+// Get returns the value for the newest entry of userKey visible at seq.
+func (r *Reader) Get(userKey []byte, seq uint64) (value []byte, deleted, found bool, err error) {
+	if !r.MayContain(userKey) {
+		return nil, false, false, nil
+	}
+	lookup := keys.MakeInternal(nil, userKey, seq, keys.KindSet)
+	it := r.NewIterator()
+	it.SeekGE(lookup)
+	if err := it.Error(); err != nil {
+		return nil, false, false, err
+	}
+	if !it.Valid() {
+		return nil, false, false, nil
+	}
+	ik := it.Key()
+	if keys.CompareUser(keys.UserKey(ik), userKey) != 0 {
+		return nil, false, false, nil
+	}
+	_, kind := keys.DecodeTrailer(ik)
+	if kind == keys.KindDelete {
+		return nil, true, true, nil
+	}
+	return append([]byte(nil), it.Value()...), false, true, nil
+}
+
+// Iterator is a two-level iterator over the table's index and data blocks.
+type Iterator struct {
+	r     *Reader
+	index *blockIter
+	data  *blockIter
+	err   error
+}
+
+// NewIterator returns an unpositioned iterator over the table.
+func (r *Reader) NewIterator() *Iterator {
+	return &Iterator{r: r, index: r.index.iter()}
+}
+
+// loadData opens the data block referenced by the current index entry.
+func (it *Iterator) loadData() bool {
+	it.data = nil
+	if !it.index.Valid() {
+		return false
+	}
+	h, _, err := DecodeHandle(it.index.Value())
+	if err != nil {
+		it.err = err
+		return false
+	}
+	contents, err := it.r.readBlockContents(h)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	b, err := newBlock(contents, keys.Compare)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.data = b.iter()
+	return true
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool {
+	return it.err == nil && it.data != nil && it.data.Valid()
+}
+
+// Key returns the current internal key.
+func (it *Iterator) Key() []byte { return it.data.Key() }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.data.Value() }
+
+// Error returns the first error encountered.
+func (it *Iterator) Error() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.data != nil && it.data.Error() != nil {
+		return it.data.Error()
+	}
+	return it.index.Error()
+}
+
+// SeekGE positions at the first entry with internal key >= target.
+func (it *Iterator) SeekGE(target []byte) {
+	it.index.SeekGE(target)
+	if !it.loadData() {
+		return
+	}
+	it.data.SeekGE(target)
+	it.skipForwardEmpty()
+}
+
+// SeekToFirst positions at the table's first entry.
+func (it *Iterator) SeekToFirst() {
+	it.index.SeekToFirst()
+	if !it.loadData() {
+		return
+	}
+	it.data.SeekToFirst()
+	it.skipForwardEmpty()
+}
+
+// SeekToLast positions at the table's final entry.
+func (it *Iterator) SeekToLast() {
+	it.index.SeekToLast()
+	if !it.loadData() {
+		return
+	}
+	it.data.SeekToLast()
+	it.skipBackwardEmpty()
+}
+
+// Next advances to the following entry, crossing block boundaries.
+func (it *Iterator) Next() {
+	if it.data == nil {
+		return
+	}
+	it.data.Next()
+	it.skipForwardEmpty()
+}
+
+// Prev steps to the preceding entry, crossing block boundaries.
+func (it *Iterator) Prev() {
+	if it.data == nil {
+		return
+	}
+	it.data.Prev()
+	it.skipBackwardEmpty()
+}
+
+func (it *Iterator) skipForwardEmpty() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Error() != nil {
+			it.err = it.data.Error()
+			return
+		}
+		it.index.Next()
+		if !it.index.Valid() {
+			it.data = nil
+			return
+		}
+		if !it.loadData() {
+			return
+		}
+		it.data.SeekToFirst()
+	}
+}
+
+func (it *Iterator) skipBackwardEmpty() {
+	for it.err == nil && (it.data == nil || !it.data.Valid()) {
+		if it.data != nil && it.data.Error() != nil {
+			it.err = it.data.Error()
+			return
+		}
+		it.index.Prev()
+		if !it.index.Valid() {
+			it.data = nil
+			return
+		}
+		if !it.loadData() {
+			return
+		}
+		it.data.SeekToLast()
+	}
+}

@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"fcae/internal/crc"
+)
+
+func testCRC(t byte, payload []byte) uint32 {
+	return crc.Extend(crc.Value([]byte{t}), payload)
+}
+
+func roundTrip(t *testing.T, records [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), testCRC)
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripSmallRecords(t *testing.T) {
+	roundTrip(t, [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")})
+}
+
+func TestRoundTripFragmented(t *testing.T) {
+	// Records larger than one block must fragment and reassemble.
+	big := bytes.Repeat([]byte("x"), BlockSize*3+123)
+	roundTrip(t, [][]byte{[]byte("pre"), big, []byte("post")})
+}
+
+func TestRoundTripBlockBoundary(t *testing.T) {
+	// A record that leaves less than a header of trailer space forces
+	// zero padding, which the reader must skip.
+	first := bytes.Repeat([]byte("a"), BlockSize-headerSize-3)
+	roundTrip(t, [][]byte{first, []byte("second")})
+}
+
+func TestRoundTripExactBlockFill(t *testing.T) {
+	first := bytes.Repeat([]byte("a"), BlockSize-headerSize)
+	roundTrip(t, [][]byte{first, []byte("second")})
+}
+
+func TestRoundTripManyRandomRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var records [][]byte
+	for i := 0; i < 200; i++ {
+		r := make([]byte, rng.Intn(5000))
+		rng.Read(r)
+		records = append(records, r)
+	}
+	roundTrip(t, records)
+}
+
+func TestReaderDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	if err := w.Append([]byte("a clean record")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[headerSize+2] ^= 0xff // flip a payload byte
+	r := NewReader(bytes.NewReader(data), testCRC)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("corrupted payload passed checksum")
+	}
+}
+
+func TestReaderDetectsTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	big := bytes.Repeat([]byte("y"), BlockSize*2)
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the final fragment: simulates a crash mid-write.
+	data := buf.Bytes()[:BlockSize+100]
+	r := NewReader(bytes.NewReader(data), testCRC)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("torn record should not be returned")
+	}
+}
+
+func TestReaderStopsAtTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate in the middle of record 3's header.
+	data := buf.Bytes()[:3*(headerSize+len("record-0"))+4]
+	r := NewReader(bytes.NewReader(data), testCRC)
+	n := 0
+	for {
+		_, err := r.Next()
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("recovered %d records, want 3", n)
+	}
+}
+
+func TestWriterSizeTracksBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	if err := w.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != int64(buf.Len()) {
+		t.Fatalf("Size = %d, buffer has %d", w.Size(), buf.Len())
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	record := bytes.Repeat([]byte("payload-"), 64) // 512 bytes
+	b.SetBytes(int64(len(record)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf.Len() > 64<<20 {
+			buf.Reset()
+			w = NewWriter(&buf, testCRC)
+		}
+		if err := w.Append(record); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, testCRC)
+	record := bytes.Repeat([]byte("payload-"), 64)
+	for i := 0; i < 10000; i++ {
+		w.Append(record)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(buf.Bytes()), testCRC)
+		n := 0
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		if n != 10000 {
+			b.Fatalf("replayed %d records", n)
+		}
+	}
+}

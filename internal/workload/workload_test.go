@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"fcae/internal/snappy"
+)
+
+func TestKeyGenWidthAndOrder(t *testing.T) {
+	g := NewKeyGen(16)
+	prev := append([]byte(nil), g.Key(0)...)
+	for i := uint64(1); i < 1000; i++ {
+		k := g.Key(i * 7)
+		if len(k) != 16 {
+			t.Fatalf("key width %d", len(k))
+		}
+		if bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("keys not ordered: %q >= %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+	}
+}
+
+func TestValueGenCompressibility(t *testing.T) {
+	for _, ratio := range []float64{0.25, 0.5, 1.0} {
+		g := NewValueGen(4096, ratio, 1)
+		var total, comp int
+		for i := 0; i < 50; i++ {
+			v := g.Value()
+			enc := snappy.Encode(nil, v)
+			total += len(v)
+			comp += len(enc)
+		}
+		got := float64(comp) / float64(total)
+		if got < ratio-0.25 || got > ratio+0.3 {
+			t.Errorf("ratio %.2f: compressed to %.2f", ratio, got)
+		}
+	}
+}
+
+func TestValueGenSize(t *testing.T) {
+	g := NewValueGen(512, 0.5, 2)
+	for i := 0; i < 10000; i++ {
+		if len(g.Value()) != 512 {
+			t.Fatal("value size drifted")
+		}
+	}
+}
+
+func TestSequential(t *testing.T) {
+	var s Sequential
+	for i := uint64(0); i < 100; i++ {
+		if s.Next() != i {
+			t.Fatal("sequential broke")
+		}
+	}
+}
+
+func TestUniformInRangeAndSpread(t *testing.T) {
+	u := NewUniform(1000, 3)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		k := u.Next()
+		if k >= 1000 {
+			t.Fatalf("out of range: %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 900 {
+		t.Fatalf("uniform hit only %d of 1000 keys", len(seen))
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(100000, 5)
+	counts := make(map[uint64]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k >= 100000 {
+			t.Fatalf("out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// The hottest key should take a few percent of requests; the
+	// distribution must be far from uniform.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/100 {
+		t.Fatalf("hottest key got %d of %d: not zipfian", max, n)
+	}
+	if len(counts) < 1000 {
+		t.Fatalf("only %d distinct keys: too concentrated", len(counts))
+	}
+}
+
+func TestZipfianHugeKeySpace(t *testing.T) {
+	// Construction must stay fast and sane for billion-key spaces.
+	z := NewZipfian(2_000_000_000, 7)
+	for i := 0; i < 1000; i++ {
+		if k := z.Next(); k >= 2_000_000_000 {
+			t.Fatalf("out of range: %d", k)
+		}
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	l := NewLatest(100000, 9)
+	recent := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if k := l.Next(); k > 90000 {
+			recent++
+		}
+	}
+	// The newest 10% of keys should absorb well over half the reads.
+	if recent < n/2 {
+		t.Fatalf("only %d/%d reads hit the newest 10%%", recent, n)
+	}
+	l.Observe(200000)
+	if l.MaxKey != 200000 {
+		t.Fatal("Observe did not advance")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	m := NewMix(0.5, 0.5, 0, 0, 0, 11)
+	var reads, updates int
+	for i := 0; i < 100000; i++ {
+		switch m.Next() {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatal("unexpected op kind")
+		}
+	}
+	if reads < 48000 || reads > 52000 {
+		t.Fatalf("50/50 mix gave %d reads", reads)
+	}
+	_ = updates
+}
+
+func TestMixAllKinds(t *testing.T) {
+	m := NewMix(0.2, 0.2, 0.2, 0.2, 0.2, 13)
+	seen := map[Op]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[m.Next()] = true
+	}
+	for _, op := range []Op{OpRead, OpUpdate, OpInsert, OpScan, OpRMW} {
+		if !seen[op] {
+			t.Fatalf("op %d never chosen", op)
+		}
+	}
+}
