@@ -1,0 +1,71 @@
+// Command fcaelint runs the repo's static-analysis suite (internal/lint)
+// over the module and prints file:line:col diagnostics. It exits non-zero
+// when any analyzer reports a finding, so the verify line can gate on it:
+//
+//	go run ./cmd/fcaelint ./...
+//
+// The only accepted package pattern is ./... (or none, which means the
+// same): the suite always loads and cross-checks the whole module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fcae/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fcaelint [-list] [./...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "fcaelint: unsupported pattern %q (the suite always checks the whole module)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Check(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		line := d.String()
+		// Print paths relative to the module root for stable output.
+		line = strings.TrimPrefix(line, root+string(os.PathSeparator))
+		fmt.Println(line)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fcaelint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fcaelint:", err)
+	os.Exit(2)
+}

@@ -43,6 +43,7 @@ func main() {
 	ops := flag.Int("ops", 100000, "operations per workload")
 	valueSize := flag.Int("value_size", 1024, "value length in bytes")
 	backend := flag.String("backend", "cpu", "compaction backend: cpu or fcae")
+	seed := flag.Int64("seed", 7, "RNG seed; every generator derives from this one stream")
 	flag.Parse()
 
 	if *dir == "" {
@@ -75,22 +76,23 @@ func main() {
 		if name == "load" {
 			n = *records
 		}
-		if err := run(db, sp, n, *records, *valueSize, &inserted); err != nil {
+		if err := run(db, sp, n, *records, *valueSize, *seed, &inserted); err != nil {
 			fatal(fmt.Errorf("workload %s: %w", sp.name, err))
 		}
 	}
 }
 
-func run(db *fcae.DB, sp spec, n, records, valueSize int, inserted *uint64) error {
+func run(db *fcae.DB, sp spec, n, records, valueSize int, seed int64, inserted *uint64) error {
+	rng := workload.NewRand(seed)
 	keys := workload.NewKeyGen(16)
-	values := workload.NewValueGen(valueSize, 0.5, 7)
-	mix := workload.NewMix(sp.read, sp.update, sp.insert, sp.scan, sp.rmw, 17)
+	values := workload.NewValueGenRand(valueSize, 0.5, rng)
+	mix := workload.NewMixRand(sp.read, sp.update, sp.insert, sp.scan, sp.rmw, rng)
 	var pick workload.Sequence
-	latest := workload.NewLatest(uint64(records), 23)
+	latest := workload.NewLatestRand(uint64(records), rng)
 	if sp.latest {
 		pick = latest
 	} else {
-		pick = workload.NewZipfian(uint64(records), 29)
+		pick = workload.NewZipfianRand(uint64(records), rng)
 	}
 
 	start := time.Now()

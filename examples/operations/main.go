@@ -63,7 +63,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoint written to %s\n", checkpoint)
-	db.Close()
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Disaster: the MANIFEST and CURRENT files are destroyed.
 	os.Remove(filepath.Join(dir, "CURRENT"))

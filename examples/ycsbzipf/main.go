@@ -81,7 +81,9 @@ func main() {
 		for ok, n := it.Seek(keys.Key(zipf.Next())), 0; ok && n < scanLen; ok, n = it.Next(), n+1 {
 			entries++
 		}
-		it.Close()
+		if err := it.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("scans: %d x %d entries at %.0f scans/s (%d entries)\n",
 		scans, scanLen, float64(scans)/time.Since(scanStart).Seconds(), entries)

@@ -13,6 +13,7 @@ func key(i int) []byte {
 }
 
 func TestEmptyFilter(t *testing.T) {
+	t.Parallel()
 	f := New(10)
 	filter := f.Append(nil, nil)
 	if f.MayContain(filter, []byte("anything")) {
@@ -24,6 +25,7 @@ func TestEmptyFilter(t *testing.T) {
 }
 
 func TestNoFalseNegatives(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{1, 10, 100, 1000, 10000} {
 		f := New(10)
 		var ks [][]byte
@@ -40,6 +42,7 @@ func TestNoFalseNegatives(t *testing.T) {
 }
 
 func TestFalsePositiveRate(t *testing.T) {
+	t.Parallel()
 	f := New(10)
 	const n = 10000
 	var ks [][]byte
@@ -61,6 +64,7 @@ func TestFalsePositiveRate(t *testing.T) {
 }
 
 func TestVaryingLengthKeys(t *testing.T) {
+	t.Parallel()
 	f := New(10)
 	var ks [][]byte
 	for i := 0; i < 200; i++ {
@@ -75,6 +79,7 @@ func TestVaryingLengthKeys(t *testing.T) {
 }
 
 func TestFilterSizeScalesWithBitsPerKey(t *testing.T) {
+	t.Parallel()
 	var ks [][]byte
 	for i := 0; i < 1000; i++ {
 		ks = append(ks, key(i))
@@ -87,6 +92,7 @@ func TestFilterSizeScalesWithBitsPerKey(t *testing.T) {
 }
 
 func TestReservedProbeCountMatchesEverything(t *testing.T) {
+	t.Parallel()
 	f := New(10)
 	filter := []byte{0x00, 0x00, 31} // k=31 is reserved
 	if !f.MayContain(filter, []byte("whatever")) {

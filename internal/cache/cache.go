@@ -90,7 +90,7 @@ type shard struct {
 	init     bool
 }
 
-func (s *shard) lazyInit() {
+func (s *shard) lazyInitLocked() {
 	if !s.init {
 		s.head.next = &s.head
 		s.head.prev = &s.head
@@ -101,59 +101,59 @@ func (s *shard) lazyInit() {
 func (s *shard) get(k Key) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lazyInit()
+	s.lazyInitLocked()
 	e, ok := s.table[k]
 	if !ok {
 		return nil, false
 	}
-	s.unlink(e)
-	s.pushFront(e)
+	s.unlinkLocked(e)
+	s.pushFrontLocked(e)
 	return e.value, true
 }
 
 func (s *shard) set(k Key, v []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lazyInit()
+	s.lazyInitLocked()
 	if e, ok := s.table[k]; ok {
 		s.used += int64(len(v)) - int64(len(e.value))
 		e.value = v
-		s.unlink(e)
-		s.pushFront(e)
+		s.unlinkLocked(e)
+		s.pushFrontLocked(e)
 	} else {
 		e := &entry{key: k, value: v}
 		s.table[k] = e
-		s.pushFront(e)
+		s.pushFrontLocked(e)
 		s.used += int64(len(v))
 	}
 	for s.used > s.capacity && s.head.prev != &s.head {
-		s.evict(s.head.prev)
+		s.evictLocked(s.head.prev)
 	}
 }
 
 func (s *shard) evictFile(id uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lazyInit()
+	s.lazyInitLocked()
 	for k, e := range s.table {
 		if k.ID == id {
-			s.evict(e)
+			s.evictLocked(e)
 		}
 	}
 }
 
-func (s *shard) evict(e *entry) {
-	s.unlink(e)
+func (s *shard) evictLocked(e *entry) {
+	s.unlinkLocked(e)
 	delete(s.table, e.key)
 	s.used -= int64(len(e.value))
 }
 
-func (s *shard) unlink(e *entry) {
+func (s *shard) unlinkLocked(e *entry) {
 	e.prev.next = e.next
 	e.next.prev = e.prev
 }
 
-func (s *shard) pushFront(e *entry) {
+func (s *shard) pushFrontLocked(e *entry) {
 	e.prev = &s.head
 	e.next = s.head.next
 	e.prev.next = e

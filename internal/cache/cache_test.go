@@ -7,6 +7,7 @@ import (
 )
 
 func TestGetSet(t *testing.T) {
+	t.Parallel()
 	c := New(1 << 20)
 	k := Key{ID: 1, Offset: 0}
 	if _, ok := c.Get(k); ok {
@@ -20,6 +21,7 @@ func TestGetSet(t *testing.T) {
 }
 
 func TestUpdateExisting(t *testing.T) {
+	t.Parallel()
 	c := New(1 << 20)
 	k := Key{ID: 1, Offset: 8}
 	c.Set(k, []byte("v1"))
@@ -34,6 +36,7 @@ func TestUpdateExisting(t *testing.T) {
 }
 
 func TestEvictionBoundsSize(t *testing.T) {
+	t.Parallel()
 	c := New(16 * 1024)
 	for i := 0; i < 1000; i++ {
 		c.Set(Key{ID: uint64(i), Offset: uint64(i)}, make([]byte, 256))
@@ -47,6 +50,7 @@ func TestEvictionBoundsSize(t *testing.T) {
 }
 
 func TestLRUOrder(t *testing.T) {
+	t.Parallel()
 	// Single-shard-sized capacity to make eviction deterministic per shard:
 	// use keys that land in the same shard by fixing ID and offset pattern.
 	c := New(shardCount * 300)
@@ -75,6 +79,7 @@ func TestLRUOrder(t *testing.T) {
 }
 
 func TestEvictFile(t *testing.T) {
+	t.Parallel()
 	c := New(1 << 20)
 	for i := 0; i < 50; i++ {
 		c.Set(Key{ID: 7, Offset: uint64(i)}, []byte("a"))
@@ -92,6 +97,7 @@ func TestEvictFile(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
 	c := New(1 << 20)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

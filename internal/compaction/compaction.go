@@ -368,7 +368,7 @@ func (o *outputWriter) add(ikey, value []byte) error { return o.w.Add(ikey, valu
 func (o *outputWriter) finish() (OutputTable, error) {
 	stats, err := o.w.Finish()
 	if err != nil {
-		o.f.Close()
+		_ = o.f.Close()
 		return OutputTable{}, err
 	}
 	if err := o.f.Close(); err != nil {
@@ -383,4 +383,6 @@ func (o *outputWriter) finish() (OutputTable, error) {
 	}, nil
 }
 
-func (o *outputWriter) abort() { o.f.Close() }
+// abort discards a half-written output; the file is deleted by the
+// obsolete-file sweep, so its close error is irrelevant.
+func (o *outputWriter) abort() { _ = o.f.Close() }

@@ -72,12 +72,16 @@ type Stats struct {
 }
 
 // KernelTime converts cycles to wall time at the configured clock.
+//
+//fcae:cycle-accounting
 func (s Stats) KernelTime(clockHz float64) time.Duration {
 	return time.Duration(s.Cycles / clockHz * float64(time.Second))
 }
 
 // SpeedMBps is input bytes over kernel time, the paper's compaction-speed
 // metric (§VII-B1).
+//
+//fcae:cycle-accounting
 func (s Stats) SpeedMBps(clockHz float64) float64 {
 	if s.Cycles == 0 {
 		return 0
@@ -157,6 +161,8 @@ func (e *Engine) Config() Config { return e.cfg }
 // Run merges the input images into output table images, accounting device
 // cycles. Inputs must each be internally sorted; len(inputs) must not
 // exceed the configured N.
+//
+//fcae:cycle-accounting
 func (e *Engine) Run(inputs []*InputImage, p Params) (*Result, error) {
 	if len(inputs) == 0 {
 		return &Result{}, nil
@@ -277,6 +283,8 @@ func (e *Engine) Run(inputs []*InputImage, p Params) (*Result, error) {
 // advance decodes the lane's next pair, charging decoder cycles and block
 // switch latencies. consumeTime is when the previous head left the FIFO
 // (negative during the initial fill).
+//
+//fcae:cycle-accounting
 func (e *Engine) advance(l *lane, consumeTime float64) error {
 	if consumeTime >= 0 {
 		l.pushConsume(consumeTime)
@@ -349,10 +357,15 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 }
 
 // setPair captures the lane's current pair and charges its decode service,
-// honoring the FIFO backpressure constraint.
+// honoring the FIFO backpressure constraint. The block iterator reuses
+// its buffers across Next, so the head pair is copied into lane-owned
+// storage (this is also what the hardware FIFO does: the head registers
+// hold bytes, not references).
+//
+//fcae:cycle-accounting
 func (l *lane) setPair(cfg Config) {
-	l.key = l.it.Key()
-	l.value = l.it.Value()
+	l.key = append(l.key[:0], l.it.Key()...)
+	l.value = append(l.value[:0], l.it.Value()...)
 	dec, _, _, _ := cfg.stagePeriods(len(l.key), len(l.value))
 	if c := l.fifoConstraint(); c > l.decClock {
 		l.decClock = c
@@ -415,6 +428,8 @@ func newOutputBuilder(cfg Config, p Params) *outputBuilder {
 
 // add encodes one pair, returning any extra encoder cycles spent flushing
 // a finished block or table.
+//
+//fcae:cycle-accounting
 func (o *outputBuilder) add(ikey, value []byte) (float64, error) {
 	var cycles float64
 	// A full table closes only at a user-key boundary, preserving the
@@ -487,6 +502,8 @@ func (o *outputBuilder) closeTable() {
 }
 
 // finish flushes trailing state at end of stream.
+//
+//fcae:cycle-accounting
 func (o *outputBuilder) finish() (float64, error) {
 	var cycles float64
 	if !o.bw.Empty() {

@@ -15,8 +15,9 @@ import (
 // and combine them into standard SSTable files. A mutex serializes jobs —
 // the card has one pipeline.
 type Executor struct {
-	mu     sync.Mutex
-	engine *Engine
+	engine *Engine // immutable after NewExecutor
+
+	mu sync.Mutex
 
 	// Totals since creation, surfaced in DB stats.
 	jobs          int
@@ -115,11 +116,18 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	res.Stats.KernelTime = er.Stats.KernelTime(x.engine.cfg.ClockHz)
 	res.Stats.TransferTime = model.PCIeTransferTime(shipBytes) + model.PCIeTransferTime(returnBytes)
 
-	x.jobs++
-	x.kernelCycles += er.Stats.Cycles
-	x.bytesShipped += shipBytes
-	x.bytesReturned += returnBytes
+	x.addTotalsLocked(er.Stats.Cycles, shipBytes, returnBytes)
 	return res, nil
+}
+
+// addTotalsLocked folds one job's outcome into the lifetime counters.
+//
+//fcae:cycle-accounting
+func (x *Executor) addTotalsLocked(cycles float64, shipped, returned int64) {
+	x.jobs++
+	x.kernelCycles += cycles
+	x.bytesShipped += shipped
+	x.bytesReturned += returned
 }
 
 // Totals reports lifetime executor statistics.
@@ -159,7 +167,7 @@ func assembleTable(img *OutputTableImage, env compaction.Env, opts sstable.Optio
 	a := sstable.NewAssembler(f, opts)
 	for _, blk := range img.Blocks {
 		if err := a.AddRawBlock(blk.LastKey, blk.CType, blk.Payload, blk.Entries); err != nil {
-			f.Close()
+			_ = f.Close()
 			return compaction.OutputTable{}, err
 		}
 	}
@@ -169,7 +177,7 @@ func assembleTable(img *OutputTableImage, env compaction.Env, opts sstable.Optio
 	a.SetBounds(img.Smallest, img.Largest)
 	stats, err := a.Finish()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return compaction.OutputTable{}, err
 	}
 	if err := f.Close(); err != nil {

@@ -62,6 +62,8 @@ func (c Config) stagePeriods(keyLen, valueLen int) (dec, cmp, xfer, enc float64)
 // pipelined and only the DRAM burst latency shows; without it the read
 // pointer switches to the index block and back (Algorithm 1), serializing
 // two DRAM round trips plus the index entry decode.
+//
+//fcae:cycle-accounting
 func (c Config) blockSwitchCycles() float64 {
 	if c.IndexDataSeparation {
 		return float64(c.DRAMLatencyCycles)
@@ -113,6 +115,8 @@ func (c Config) BottleneckStage(keyLen, valueLen int) string {
 // SpeedMBps returns the modeled steady-state compaction speed in MB/s for
 // uniform entries, counting keyLen+valueLen input bytes per pair. Used by
 // the analytic simulator; the engine itself reports measured cycles.
+//
+//fcae:cycle-accounting
 func (c Config) SpeedMBps(keyLen, valueLen int) float64 {
 	period := c.BottleneckPeriod(keyLen, valueLen)
 	bytesPerPair := float64(keyLen + valueLen)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestMaskUnmaskInverse(t *testing.T) {
+	t.Parallel()
 	f := func(c uint32) bool { return Unmask(Mask(c)) == c }
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -13,6 +14,7 @@ func TestMaskUnmaskInverse(t *testing.T) {
 }
 
 func TestMaskChangesValue(t *testing.T) {
+	t.Parallel()
 	v := Value([]byte("foo"))
 	if Mask(Unmask(v)) != v {
 		t.Fatal("mask/unmask not symmetric")
@@ -23,6 +25,7 @@ func TestMaskChangesValue(t *testing.T) {
 }
 
 func TestExtendMatchesConcatenation(t *testing.T) {
+	t.Parallel()
 	a, b := []byte("hello "), []byte("world")
 	whole := Value(append(append([]byte(nil), a...), b...))
 	if got := Extend(Value(a), b); got != whole {
@@ -31,6 +34,7 @@ func TestExtendMatchesConcatenation(t *testing.T) {
 }
 
 func TestValueDistinguishesInputs(t *testing.T) {
+	t.Parallel()
 	if Value([]byte("a")) == Value([]byte("b")) {
 		t.Fatal("different inputs produced equal checksums")
 	}

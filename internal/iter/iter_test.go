@@ -31,6 +31,7 @@ func collect(m *Merging) []string {
 }
 
 func TestMergingTwoStreams(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
 	m.SeekToFirst()
 	got := collect(m)
@@ -46,6 +47,7 @@ func TestMergingTwoStreams(t *testing.T) {
 }
 
 func TestMergingEmptyChildren(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice(), slice("a"), slice())
 	m.SeekToFirst()
 	if got := collect(m); len(got) != 1 || got[0] != "a" {
@@ -59,6 +61,7 @@ func TestMergingEmptyChildren(t *testing.T) {
 }
 
 func TestMergingSeekGE(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
 	m.SeekGE(ik("c", keys.MaxSeq))
 	if got := collect(m); len(got) != 4 || got[0] != "c" {
@@ -67,6 +70,7 @@ func TestMergingSeekGE(t *testing.T) {
 }
 
 func TestMergingValuesTrackKeys(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice("a", "c"), slice("b"))
 	m.SeekToFirst()
 	for ; m.Valid(); m.Next() {
@@ -78,6 +82,7 @@ func TestMergingValuesTrackKeys(t *testing.T) {
 }
 
 func TestMergingSameUserKeyOrdersBySeq(t *testing.T) {
+	t.Parallel()
 	a := NewSlice([][]byte{ik("k", 5)}, [][]byte{[]byte("old")})
 	b := NewSlice([][]byte{ik("k", 9)}, [][]byte{[]byte("new")})
 	m := NewMerging(a, b)
@@ -92,6 +97,7 @@ func TestMergingSameUserKeyOrdersBySeq(t *testing.T) {
 }
 
 func TestMergingRandomizedAgainstSort(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 20; trial++ {
 		var all []string
@@ -134,6 +140,7 @@ func TestMergingRandomizedAgainstSort(t *testing.T) {
 }
 
 func TestSliceSeekGE(t *testing.T) {
+	t.Parallel()
 	s := slice("b", "d")
 	s.SeekGE(ik("c", keys.MaxSeq))
 	if !s.Valid() || string(keys.UserKey(s.Key())) != "d" {
@@ -154,6 +161,7 @@ func reverseCollect(m *Merging) []string {
 }
 
 func TestMergingBackward(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
 	m.SeekToLast()
 	got := reverseCollect(m)
@@ -166,6 +174,7 @@ func TestMergingBackward(t *testing.T) {
 }
 
 func TestMergingDirectionSwitch(t *testing.T) {
+	t.Parallel()
 	m := NewMerging(slice("a", "c", "e"), slice("b", "d", "f"))
 	m.SeekToFirst() // a
 	m.Next()        // b
@@ -193,6 +202,7 @@ func TestMergingDirectionSwitch(t *testing.T) {
 }
 
 func TestMergingRandomWalkMatchesModel(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 10; trial++ {
 		// Build children with globally unique user keys.

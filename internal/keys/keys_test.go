@@ -7,6 +7,7 @@ import (
 )
 
 func TestMakeInternalRoundTrip(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		user string
 		seq  uint64
@@ -30,6 +31,7 @@ func TestMakeInternalRoundTrip(t *testing.T) {
 }
 
 func TestCompareOrdersUserKeyAscending(t *testing.T) {
+	t.Parallel()
 	a := MakeInternal(nil, []byte("aaa"), 5, KindSet)
 	b := MakeInternal(nil, []byte("bbb"), 5, KindSet)
 	if Compare(a, b) >= 0 {
@@ -44,6 +46,7 @@ func TestCompareOrdersUserKeyAscending(t *testing.T) {
 }
 
 func TestCompareOrdersSeqDescending(t *testing.T) {
+	t.Parallel()
 	newer := MakeInternal(nil, []byte("k"), 10, KindSet)
 	older := MakeInternal(nil, []byte("k"), 3, KindSet)
 	if Compare(newer, older) >= 0 {
@@ -52,6 +55,7 @@ func TestCompareOrdersSeqDescending(t *testing.T) {
 }
 
 func TestCompareDeleteVsSetSameSeq(t *testing.T) {
+	t.Parallel()
 	del := MakeInternal(nil, []byte("k"), 7, KindDelete)
 	set := MakeInternal(nil, []byte("k"), 7, KindSet)
 	// Set (kind=1) packs to a larger trailer, so it sorts first.
@@ -61,6 +65,7 @@ func TestCompareDeleteVsSetSameSeq(t *testing.T) {
 }
 
 func TestSeparatorProperties(t *testing.T) {
+	t.Parallel()
 	f := func(a, b []byte) bool {
 		if bytes.Compare(a, b) >= 0 {
 			a, b = b, a
@@ -77,6 +82,7 @@ func TestSeparatorProperties(t *testing.T) {
 }
 
 func TestSeparatorShortens(t *testing.T) {
+	t.Parallel()
 	sep := Separator([]byte("abcdefgh"), []byte("abzzz"))
 	if want := "abd"; string(sep) != want {
 		t.Fatalf("Separator = %q, want %q", sep, want)
@@ -84,6 +90,7 @@ func TestSeparatorShortens(t *testing.T) {
 }
 
 func TestSuccessorProperties(t *testing.T) {
+	t.Parallel()
 	f := func(a []byte) bool {
 		s := Successor(a)
 		return bytes.Compare(s, a) >= 0
@@ -94,6 +101,7 @@ func TestSuccessorProperties(t *testing.T) {
 }
 
 func TestSuccessorAllFF(t *testing.T) {
+	t.Parallel()
 	in := []byte{0xff, 0xff}
 	if got := Successor(in); !bytes.Equal(got, in) {
 		t.Fatalf("Successor(ff ff) = %x", got)
@@ -101,6 +109,7 @@ func TestSuccessorAllFF(t *testing.T) {
 }
 
 func TestRangeContains(t *testing.T) {
+	t.Parallel()
 	r := Range{Start: []byte("b"), Limit: []byte("d")}
 	for _, tc := range []struct {
 		k  string
@@ -117,6 +126,7 @@ func TestRangeContains(t *testing.T) {
 }
 
 func TestRangeOverlaps(t *testing.T) {
+	t.Parallel()
 	ab := Range{Start: []byte("a"), Limit: []byte("b")}
 	bc := Range{Start: []byte("b"), Limit: []byte("c")}
 	ac := Range{Start: []byte("a"), Limit: []byte("c")}
@@ -133,6 +143,7 @@ func TestRangeOverlaps(t *testing.T) {
 }
 
 func TestParse(t *testing.T) {
+	t.Parallel()
 	ik := MakeInternal(nil, []byte("user"), 42, KindSet)
 	p, ok := Parse(ik)
 	if !ok || string(p.User) != "user" || p.Seq != 42 || p.Kind != KindSet {
@@ -144,6 +155,7 @@ func TestParse(t *testing.T) {
 }
 
 func TestCompareLookupSkipsNewerEntries(t *testing.T) {
+	t.Parallel()
 	// A Get at snapshot seq=5 must land on the entry with seq<=5.
 	lookup := MakeInternal(nil, []byte("k"), 5, KindSet)
 	newer := MakeInternal(nil, []byte("k"), 9, KindSet)

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufAlias flags retention of iterator Key()/Value() views. Every
+// iterator in this store (block, table, memtable, merging) reuses its
+// key/value buffers: the returned slices are valid only until the next
+// positioning call. The classic LSM bug is keeping such a view — in a
+// struct field, a slice, a map or across a Next() — and reading garbage
+// after the iterator moves on. A view is any 0-argument Key()/Value()
+// method call on a value whose type also has a Next method.
+//
+// Flagged retention shapes:
+//   - storing the raw view into a struct field, map or slice element
+//   - appending the view itself as an element (append(s, it.Key()) —
+//     the copying form append(buf, it.Key()...) is fine)
+//   - returning the raw view from any function not itself named
+//     Key or Value (plain forwarders keep the documented lifetime)
+//   - reading a local bound to the view after the iterator's Next/Prev
+//     (in source order, within the same function)
+var BufAlias = &Analyzer{
+	Name: "bufalias",
+	Doc:  "iterator Key()/Value() views must be copied before they outlive the next positioning call",
+	Run:  runBufAlias,
+}
+
+func runBufAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBufAlias(pass, fd)
+		}
+	}
+}
+
+// viewCall returns the receiver expression of e when e is a raw
+// iterator Key()/Value() call, else nil.
+func viewCall(pass *Pass, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Key" && sel.Sel.Name != "Value") {
+		return nil
+	}
+	if pass.Info.Selections[sel] == nil {
+		return nil // not a method call
+	}
+	if !hasMethod(pass.Pkg, pass.Info.TypeOf(sel.X), "Next") {
+		return nil
+	}
+	return sel.X
+}
+
+type localView struct {
+	obj  types.Object
+	recv string // printed receiver expression of the view call
+	pos  token.Pos
+}
+
+func checkBufAlias(pass *Pass, fd *ast.FuncDecl) {
+	var locals []localView
+	assignedIdents := make(map[*ast.Ident]bool) // idents appearing as assignment targets
+	writes := make(map[types.Object][]token.Pos) // all writes per local object
+	repositions := make(map[string][]token.Pos)  // Next/Prev calls per printed receiver
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					assignedIdents[id] = true
+					if obj := identObj(pass, id); obj != nil {
+						writes[obj] = append(writes[obj], id.Pos())
+					}
+				}
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				recv := viewCall(pass, rhs)
+				if recv == nil {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(rhs.Pos(),
+						"%s view stored into field %s outlives the iterator's buffer; copy it (append(dst[:0], ...%s...))",
+						types.ExprString(rhs), types.ExprString(lhs), types.ExprString(rhs))
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(),
+						"%s view stored into %s outlives the iterator's buffer; copy it first",
+						types.ExprString(rhs), types.ExprString(lhs))
+				case *ast.Ident:
+					if obj := identObj(pass, lhs); obj != nil {
+						locals = append(locals, localView{obj: obj, recv: types.ExprString(recv), pos: rhs.Pos()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == token.NoPos {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args[1:] {
+						if viewCall(pass, arg) != nil {
+							pass.Reportf(arg.Pos(),
+								"%s view appended as an element retains the iterator's buffer; append a copy",
+								types.ExprString(arg))
+						}
+					}
+				}
+			}
+			// Track repositioning calls for the local-view pass.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && len(n.Args) == 0 &&
+				(sel.Sel.Name == "Next" || sel.Sel.Name == "Prev") &&
+				pass.Info.Selections[sel] != nil {
+				recv := types.ExprString(sel.X)
+				repositions[recv] = append(repositions[recv], n.Pos())
+			}
+		case *ast.ReturnStmt:
+			if fd.Name.Name == "Key" || fd.Name.Name == "Value" {
+				return true // forwarding iterator: same documented lifetime
+			}
+			for _, res := range n.Results {
+				if viewCall(pass, res) != nil {
+					pass.Reportf(res.Pos(),
+						"returning raw %s leaks the iterator's reused buffer; return a copy",
+						types.ExprString(res))
+				}
+			}
+		}
+		return true
+	})
+
+	if len(locals) == 0 {
+		return
+	}
+	// For each local view, flag reads that happen (in source order) after
+	// a repositioning of its iterator, unless the local was re-assigned
+	// after that repositioning.
+	for _, lv := range locals {
+		reps := repositions[lv.recv]
+		if len(reps) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || assignedIdents[id] || identObj(pass, id) != lv.obj || id.Pos() <= lv.pos {
+				return true
+			}
+			lastWrite := lv.pos
+			for _, w := range writes[lv.obj] {
+				if w < id.Pos() && w > lastWrite {
+					lastWrite = w
+				}
+			}
+			for _, r := range reps {
+				if r > lastWrite && r < id.Pos() {
+					pass.Reportf(id.Pos(),
+						"%s read after %s.Next/Prev invalidated the view it holds; copy the bytes before advancing",
+						id.Name, lv.recv)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// identObj resolves an identifier to its object (definition or use).
+func identObj(pass *Pass, id *ast.Ident) types.Object {
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

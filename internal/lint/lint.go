@@ -1,0 +1,121 @@
+// Package lint implements fcaelint, the project's static-analysis suite.
+// It is a self-contained analyzer framework built on the standard
+// library's go/ast, go/parser and go/types packages — no external
+// dependencies — mirroring the shape of golang.org/x/tools/go/analysis
+// without importing it.
+//
+// The suite encodes invariants the compiler cannot check and that matter
+// specifically to an LSM-tree store driving a device compaction engine:
+// lock discipline around the DB's big mutex, error wrapping on recovery
+// paths, iterator buffer lifetimes, swallowed I/O errors on durability
+// paths, and containment of the paper's device-cycle accounting model.
+// See DESIGN.md ("Static analysis") for the invariant each analyzer
+// protects.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, printed as file:line:col: analyzer: message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding anchored at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full fcaelint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MutexGuard, ErrWrap, BufAlias, UncheckedClose, CycleFlow}
+}
+
+// Check runs the given analyzers over every package and returns the
+// findings sorted by file position.
+func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// errorType is the universe error interface, shared by several analyzers.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// hasMethod reports whether t's method set (or its pointer's) contains a
+// method with the given name.
+func hasMethod(pkg *types.Package, t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MutexGuard enforces the repo's lock-discipline convention on structs
+// with a `mu sync.Mutex` (or RWMutex) field: fields declared after mu are
+// guarded by it, and any method that touches a guarded field must either
+// acquire the mutex itself (a visible recv.mu.Lock / RLock in its body)
+// or carry the "Locked" name suffix declaring that the caller holds mu.
+// Fields declared before mu are the immutable-after-construction group
+// and may be read freely — keep set-once configuration there.
+var MutexGuard = &Analyzer{
+	Name: "mutexguard",
+	Doc: "methods touching mutex-guarded fields must lock mu or be named *Locked; " +
+		"fields after the mu field are guarded, fields before it are immutable",
+	Run: runMutexGuard,
+}
+
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func runMutexGuard(pass *Pass) {
+	// Pass 1: find guarded structs and their field sets.
+	guarded := make(map[string]map[string]bool) // struct type name -> guarded fields
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := make(map[string]bool)
+			sawMu := false
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if sawMu {
+						fields[name.Name] = true
+						continue
+					}
+					if name.Name == "mu" && isSyncMutex(pass.Info.TypeOf(fld.Type)) {
+						sawMu = true
+					}
+				}
+			}
+			if sawMu && len(fields) > 0 {
+				guarded[ts.Name.Name] = fields
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: check each method of a guarded struct.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			typeName, recvObj := receiverOf(pass, fd)
+			fields := guarded[typeName]
+			if fields == nil || recvObj == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			if acquiresMu(pass, fd.Body, recvObj) {
+				continue
+			}
+			reported := make(map[string]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				x, ok := sel.X.(*ast.Ident)
+				if !ok || pass.Info.Uses[x] != recvObj {
+					return true
+				}
+				name := sel.Sel.Name
+				if fields[name] && !reported[name] {
+					reported[name] = true
+					pass.Reportf(sel.Pos(),
+						"%s.%s accesses mu-guarded field %q without holding %s.mu (lock it or rename the method *Locked)",
+						typeName, fd.Name.Name, name, x.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverOf returns the receiver's base type name and its object.
+func receiverOf(pass *Pass, fd *ast.FuncDecl) (string, types.Object) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", nil
+	}
+	name := fd.Recv.List[0].Names[0]
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic instantiations if ever present.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	return id.Name, pass.Info.Defs[name]
+}
+
+// acquiresMu reports whether body contains a recv.mu.Lock-style call.
+func acquiresMu(pass *Pass, body *ast.BlockStmt, recvObj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !lockMethods[sel.Sel.Name] {
+			return true
+		}
+		mu, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || mu.Sel.Name != "mu" {
+			return true
+		}
+		x, ok := mu.X.(*ast.Ident)
+		if ok && pass.Info.Uses[x] == recvObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

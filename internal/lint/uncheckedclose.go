@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedClose flags statements that discard the error of a Close,
+// Flush or Sync method call. On the WAL, SSTable-writer and manifest
+// paths those errors are the durability signal — a swallowed Close error
+// after buffered writes is silent data loss. The check covers plain
+// expression statements; `defer f.Close()` on read-only paths stays
+// idiomatic and is not reported, and a deliberate discard must be spelled
+// `_ = f.Close()` so the acknowledgment is visible in review.
+var UncheckedClose = &Analyzer{
+	Name: "uncheckedclose",
+	Doc:  "Close/Flush/Sync errors must be handled or explicitly discarded with _ =",
+	Run:  runUncheckedClose,
+}
+
+var closeKin = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func runUncheckedClose(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !closeKin[sel.Sel.Name] || len(call.Args) != 0 {
+				return true
+			}
+			// Only method calls whose sole result is an error.
+			if pass.Info.Selections[sel] == nil {
+				return true // package function or conversion, not a method
+			}
+			if !isErrorType(pass.Info.TypeOf(call)) {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			pass.Reportf(stmt.Pos(), "%s.%s() error is silently dropped (handle it or write `_ = %s.%s()`)",
+				recv, sel.Sel.Name, recv, sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -79,7 +79,7 @@ func (db *DB) Checkpoint(dest string) error {
 		}
 	}
 	if err := vs.LogAndApply(edit); err != nil {
-		vs.Close()
+		_ = vs.Close()
 		return err
 	}
 	return vs.Close()
@@ -96,11 +96,11 @@ func copyFile(src, dst string) error {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
+		_ = out.Close()
 		return err
 	}
 	if err := out.Sync(); err != nil {
-		out.Close()
+		_ = out.Close()
 		return err
 	}
 	return out.Close()

@@ -36,7 +36,7 @@ func (db *DB) flushWorker() {
 			db.imm = nil
 		}
 		db.flushBusy = false
-		db.deleteObsoleteFiles()
+		db.deleteObsoleteFilesLocked()
 		db.bgCond.Broadcast()
 	}
 }
@@ -90,19 +90,19 @@ func (db *DB) buildTable(num uint64, mem *memtable.MemTable) (*manifest.FileMeta
 	w := sstable.NewWriter(f, db.opts.tableOpts())
 	for ; it.Valid(); it.Next() {
 		if err := w.Add(it.Key(), it.Value()); err != nil {
-			f.Close()
+			_ = f.Close()
 			os.Remove(path)
 			return nil, err
 		}
 	}
 	stats, err := w.Finish()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(path)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Close(); err != nil {
@@ -149,7 +149,7 @@ func (db *DB) compactWorker() {
 			db.bgErr = err
 		}
 		db.compactBusy = false
-		db.deleteObsoleteFiles()
+		db.deleteObsoleteFilesLocked()
 		db.bgCond.Broadcast()
 	}
 }
@@ -212,7 +212,8 @@ func (db *DB) runCompaction(c *manifest.Compaction) error {
 	var opened []*os.File
 	defer func() {
 		for _, f := range opened {
-			f.Close()
+			// Read-only inputs; close errors cannot lose data.
+			_ = f.Close()
 		}
 	}()
 	openRun := func(files []*manifest.FileMetadata) error {
@@ -382,11 +383,11 @@ func (db *DB) Flush() error {
 	if db.mem.Empty() {
 		return db.bgErr
 	}
-	if err := db.newWAL(); err != nil {
+	if err := db.newWALLocked(); err != nil {
 		return err
 	}
 	db.imm = db.mem
-	db.mem = memtable.New(db.nextMemSeed())
+	db.mem = memtable.New(db.nextMemSeedLocked())
 	db.bgCond.Broadcast()
 	for db.imm != nil && db.bgErr == nil && !db.closed {
 		db.bgCond.Wait()
@@ -414,7 +415,7 @@ func (db *DB) WaitIdle() error {
 
 // deleteObsoleteFiles removes files no longer referenced by the version
 // state. Called with db.mu held.
-func (db *DB) deleteObsoleteFiles() {
+func (db *DB) deleteObsoleteFilesLocked() {
 	entries, err := os.ReadDir(db.dir)
 	if err != nil {
 		return

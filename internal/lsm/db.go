@@ -122,37 +122,40 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.bgCond = sync.NewCond(&db.mu)
 	db.writeCond = sync.NewCond(&db.mu)
-	db.mem = memtable.New(db.nextMemSeed())
+
+	// Recovery is single-threaded, but the helpers it uses follow the
+	// *Locked convention, so hold the mutex until the workers start.
+	db.mu.Lock()
+	db.mem = memtable.New(db.nextMemSeedLocked())
 
 	if err := db.recoverWALs(); err != nil {
-		vs.Close()
+		db.mu.Unlock()
+		_ = vs.Close()
 		return nil, err
 	}
-	if err := db.newWAL(); err != nil {
-		vs.Close()
+	if err := db.newWALLocked(); err != nil {
+		db.mu.Unlock()
+		_ = vs.Close()
 		return nil, err
 	}
 	// Flush recovered entries so the replayed logs can be dropped.
 	if !db.mem.Empty() {
-		db.mu.Lock()
-		err := db.flushMem(db.mem)
-		if err == nil {
-			db.mem = memtable.New(db.nextMemSeed())
-		}
-		db.mu.Unlock()
-		if err != nil {
-			vs.Close()
+		if err := db.flushMem(db.mem); err != nil {
+			db.mu.Unlock()
+			_ = vs.Close()
 			return nil, err
 		}
+		db.mem = memtable.New(db.nextMemSeedLocked())
 	}
-	db.deleteObsoleteFiles()
+	db.deleteObsoleteFilesLocked()
+	db.mu.Unlock()
 
 	go db.flushWorker()
 	go db.compactWorker()
 	return db, nil
 }
 
-func (db *DB) nextMemSeed() int64 {
+func (db *DB) nextMemSeedLocked() int64 {
 	db.memSeed++
 	return db.memSeed
 }
@@ -172,14 +175,14 @@ func (db *DB) recoverWALs() error {
 	}
 	sortUint64(nums)
 	for _, num := range nums {
-		if err := db.replayWAL(num); err != nil {
+		if err := db.replayWALLocked(num); err != nil {
 			return fmt.Errorf("lsm: recover %06d.log: %w", num, err)
 		}
 	}
 	return nil
 }
 
-func (db *DB) replayWAL(num uint64) error {
+func (db *DB) replayWALLocked(num uint64) error {
 	f, err := os.Open(walPath(db.dir, num))
 	if err != nil {
 		return err
@@ -211,15 +214,17 @@ func (db *DB) replayWAL(num uint64) error {
 	}
 }
 
-// newWAL rotates to a fresh log file.
-func (db *DB) newWAL() error {
+// newWALLocked rotates to a fresh log file.
+func (db *DB) newWALLocked() error {
 	num := db.vs.AllocFileNum()
 	f, err := os.Create(walPath(db.dir, num))
 	if err != nil {
 		return err
 	}
 	if db.walFile != nil {
-		db.walFile.Close()
+		// The retiring log's records are already applied to the memtable;
+		// its fate no longer affects durability.
+		_ = db.walFile.Close()
 	}
 	db.walFile = f
 	db.wal = wal.NewWriter(f, walCRC)
@@ -276,12 +281,12 @@ func (db *DB) Write(b *Batch) error {
 
 	// Leader path.
 	if err := db.makeRoomForWrite(); err != nil {
-		db.popWriters(1)
+		db.popWritersLocked(1)
 		w.done, w.err = true, err
 		db.writeCond.Broadcast()
 		return err
 	}
-	group := db.peekGroup(maxGroupWriters, maxGroupBytes)
+	group := db.peekGroupLocked(maxGroupWriters, maxGroupBytes)
 
 	total := 0
 	for _, g := range group {
@@ -331,7 +336,7 @@ func (db *DB) Write(b *Batch) error {
 		db.stats.GroupCommits++
 		db.stats.GroupedWrites += int64(len(group))
 	}
-	db.popWriters(len(group))
+	db.popWritersLocked(len(group))
 	for _, g := range group {
 		g.done, g.err = true, err
 	}
@@ -340,9 +345,9 @@ func (db *DB) Write(b *Batch) error {
 	return err
 }
 
-// peekGroup returns up to maxN front writers bounded by maxBytes of
+// peekGroupLocked returns up to maxN front writers bounded by maxBytes of
 // payload, leaving them queued (the group is popped after the commit).
-func (db *DB) peekGroup(maxN, maxBytes int) []*writer {
+func (db *DB) peekGroupLocked(maxN, maxBytes int) []*writer {
 	n := 0
 	bytes := 0
 	for n < len(db.writers) && n < maxN {
@@ -355,8 +360,8 @@ func (db *DB) peekGroup(maxN, maxBytes int) []*writer {
 	return append([]*writer(nil), db.writers[:n]...)
 }
 
-// popWriters removes the n front writers from the queue.
-func (db *DB) popWriters(n int) {
+// popWritersLocked removes the n front writers from the queue.
+func (db *DB) popWritersLocked(n int) {
 	db.writers = append(db.writers[:0:0], db.writers[n:]...)
 }
 
@@ -383,23 +388,23 @@ func (db *DB) makeRoomForWrite() error {
 			return nil
 		case db.imm != nil:
 			// Previous flush still running: wait.
-			db.waitStalled()
+			db.waitStalledLocked()
 		case db.vs.Current().NumFiles(0) >= db.opts.L0StopTrigger:
-			db.waitStalled()
+			db.waitStalledLocked()
 		default:
 			// Switch to a fresh memtable and WAL.
-			if err := db.newWAL(); err != nil {
+			if err := db.newWALLocked(); err != nil {
 				db.bgErr = err
 				return err
 			}
 			db.imm = db.mem
-			db.mem = memtable.New(db.nextMemSeed())
+			db.mem = memtable.New(db.nextMemSeedLocked())
 			db.bgCond.Broadcast()
 		}
 	}
 }
 
-func (db *DB) waitStalled() {
+func (db *DB) waitStalledLocked() {
 	start := time.Now()
 	db.bgCond.Wait()
 	db.stats.StallTime += time.Since(start)

@@ -67,7 +67,7 @@ func (db *DB) newIteratorAt(seq uint64) (*Iterator, error) {
 	}
 	fail := func(err error) (*Iterator, error) {
 		for _, f := range it.files {
-			f.Close()
+			_ = f.Close()
 		}
 		return nil, err
 	}

@@ -55,12 +55,12 @@ func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	r, err := sstable.NewReader(f, st.Size(), tc.opts, tc.block, num)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	e := &tcEntry{num: num, f: f, reader: r}
@@ -88,7 +88,8 @@ func (tc *tableCache) evict(num uint64) {
 func (tc *tableCache) evictLocked(e *tcEntry) {
 	tc.lru.Remove(e.elem)
 	delete(tc.entries, e.num)
-	e.f.Close()
+	// Read-only handle; nothing buffered can be lost.
+	_ = e.f.Close()
 }
 
 // close releases every handle.
@@ -96,7 +97,7 @@ func (tc *tableCache) close() {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	for _, e := range tc.entries {
-		e.f.Close()
+		_ = e.f.Close()
 	}
 	tc.entries = make(map[uint64]*tcEntry)
 	tc.lru.Init()

@@ -162,7 +162,7 @@ func (vs *VersionSet) PickCompaction() *Compaction {
 	if bestScore < 1.0 {
 		return nil
 	}
-	return vs.buildCompaction(v, bestLevel)
+	return vs.buildCompactionLocked(v, bestLevel)
 }
 
 // pickTiered selects a full-level merge when a level's run count reaches
@@ -210,10 +210,10 @@ func (vs *VersionSet) PickCompactionAtLevel(level int) *Compaction {
 		c.SmallestUser, c.LargestUser = inputUserRange(c.Inputs[0])
 		return c
 	}
-	return vs.buildCompaction(v, level)
+	return vs.buildCompactionLocked(v, level)
 }
 
-func (vs *VersionSet) buildCompaction(v *Version, level int) *Compaction {
+func (vs *VersionSet) buildCompactionLocked(v *Version, level int) *Compaction {
 	c := &Compaction{Level: level, Cfg: vs.cfg}
 
 	// Seed with the file after the compact pointer (round robin).

@@ -60,9 +60,11 @@ func (c Config) MaxBytes(level int) uint64 {
 // VersionSet owns the current version, the MANIFEST log and the file
 // number / sequence counters.
 type VersionSet struct {
-	mu  sync.Mutex
+	// dir and cfg are set once in Open and immutable afterwards.
 	dir string
 	cfg Config
+
+	mu sync.Mutex
 
 	current     *Version
 	manifest    *wal.Writer
@@ -100,24 +102,26 @@ func Open(dir string, cfg Config) (*VersionSet, error) {
 		nextFileNum: 2,
 	}
 	currentData, err := os.ReadFile(CurrentPath(dir))
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
 	switch {
 	case os.IsNotExist(err):
 		// Fresh database.
 	case err != nil:
 		return nil, err
 	default:
-		if err := vs.replay(string(currentData)); err != nil {
+		if err := vs.replayLocked(string(currentData)); err != nil {
 			return nil, err
 		}
 	}
-	if err := vs.rollManifest(); err != nil {
+	if err := vs.rollManifestLocked(); err != nil {
 		return nil, err
 	}
 	return vs, nil
 }
 
-// replay loads the manifest named by the CURRENT file contents.
-func (vs *VersionSet) replay(name string) error {
+// replayLocked loads the manifest named by the CURRENT file contents.
+func (vs *VersionSet) replayLocked(name string) error {
 	for len(name) > 0 && (name[len(name)-1] == '\n' || name[len(name)-1] == '\r') {
 		name = name[:len(name)-1]
 	}
@@ -161,10 +165,10 @@ func (vs *VersionSet) replay(name string) error {
 	return nil
 }
 
-// rollManifest starts a fresh MANIFEST containing a snapshot of the state
-// and atomically repoints CURRENT at it.
-func (vs *VersionSet) rollManifest() error {
-	num := vs.allocFileNum()
+// rollManifestLocked starts a fresh MANIFEST containing a snapshot of the
+// state and atomically repoints CURRENT at it.
+func (vs *VersionSet) rollManifestLocked() error {
+	num := vs.allocFileNumLocked()
 	path := ManifestPath(vs.dir, num)
 	f, err := os.Create(path)
 	if err != nil {
@@ -187,19 +191,20 @@ func (vs *VersionSet) rollManifest() error {
 		}
 	}
 	if err := w.Append(snap.Encode()); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := setCurrent(vs.dir, num); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if vs.manifestF != nil {
-		vs.manifestF.Close()
+		// The superseded manifest is deleted next; its close error is moot.
+		_ = vs.manifestF.Close()
 		os.Remove(ManifestPath(vs.dir, vs.manifestNum))
 	}
 	if vs.replayedManifest != "" {
@@ -247,10 +252,10 @@ func (vs *VersionSet) Config() Config { return vs.cfg }
 func (vs *VersionSet) AllocFileNum() uint64 {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
-	return vs.allocFileNum()
+	return vs.allocFileNumLocked()
 }
 
-func (vs *VersionSet) allocFileNum() uint64 {
+func (vs *VersionSet) allocFileNumLocked() uint64 {
 	n := vs.nextFileNum
 	vs.nextFileNum++
 	return n

@@ -9,6 +9,7 @@ import (
 )
 
 func TestGetLatestWins(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
 	m.Add(2, keys.KindSet, []byte("k"), []byte("v2"))
@@ -19,6 +20,7 @@ func TestGetLatestWins(t *testing.T) {
 }
 
 func TestGetSnapshotIsolation(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	m.Add(1, keys.KindSet, []byte("k"), []byte("v1"))
 	m.Add(5, keys.KindSet, []byte("k"), []byte("v5"))
@@ -33,6 +35,7 @@ func TestGetSnapshotIsolation(t *testing.T) {
 }
 
 func TestGetTombstone(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	m.Add(1, keys.KindSet, []byte("k"), []byte("v"))
 	m.Add(2, keys.KindDelete, []byte("k"), nil)
@@ -47,6 +50,7 @@ func TestGetTombstone(t *testing.T) {
 }
 
 func TestIteratorOrder(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	for i := 99; i >= 0; i-- {
 		m.Add(uint64(100-i), keys.KindSet, []byte(fmt.Sprintf("key%03d", i)), []byte{byte(i)})
@@ -67,6 +71,7 @@ func TestIteratorOrder(t *testing.T) {
 }
 
 func TestIteratorSeekGE(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	m.Add(10, keys.KindSet, []byte("b"), []byte("vb"))
 	m.Add(11, keys.KindSet, []byte("d"), []byte("vd"))
@@ -81,6 +86,7 @@ func TestIteratorSeekGE(t *testing.T) {
 }
 
 func TestApproximateSizeGrows(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	before := m.ApproximateSize()
 	m.Add(1, keys.KindSet, []byte("key"), make([]byte, 1000))
@@ -93,6 +99,7 @@ func TestApproximateSizeGrows(t *testing.T) {
 }
 
 func TestLargeValues(t *testing.T) {
+	t.Parallel()
 	m := New(1)
 	val := bytes.Repeat([]byte{0xab}, 1<<16)
 	m.Add(1, keys.KindSet, []byte("big"), val)

@@ -8,6 +8,7 @@ import (
 // TestCPUPairTimeMatchesTableV checks the calibrated CPU model against the
 // paper's measured compaction speeds (Table V, CPU column) within 20%.
 func TestCPUPairTimeMatchesTableV(t *testing.T) {
+	t.Parallel()
 	paper := map[int]float64{64: 5.3, 128: 6.9, 256: 9.0, 512: 12.2, 1024: 14.8, 2048: 13.3}
 	for lv, want := range paper {
 		bytesPerPair := float64(16 + 8 + lv + 6)
@@ -19,6 +20,7 @@ func TestCPUPairTimeMatchesTableV(t *testing.T) {
 }
 
 func TestCPUSpillKicksInAboveThreshold(t *testing.T) {
+	t.Parallel()
 	below := CPUPairTime(24, CPUSpillAt, 2)
 	above := CPUPairTime(24, CPUSpillAt+512, 2)
 	linear := below + 512*CPUPerValueByte
@@ -28,6 +30,7 @@ func TestCPUSpillKicksInAboveThreshold(t *testing.T) {
 }
 
 func TestCPUMergePenaltyMonotonic(t *testing.T) {
+	t.Parallel()
 	if CPUMergePenalty(2) != 1 {
 		t.Fatalf("2-way penalty = %v, want 1", CPUMergePenalty(2))
 	}
@@ -46,6 +49,7 @@ func TestCPUMergePenaltyMonotonic(t *testing.T) {
 }
 
 func TestPCIeTransferTime(t *testing.T) {
+	t.Parallel()
 	small := PCIeTransferTime(0)
 	if small != PCIeLatency {
 		t.Fatalf("zero-byte transfer = %v", small)
@@ -57,6 +61,7 @@ func TestPCIeTransferTime(t *testing.T) {
 }
 
 func TestDiskTimes(t *testing.T) {
+	t.Parallel()
 	if DiskWriteTime(0) != DiskOpLatency {
 		t.Fatal("zero write should cost only latency")
 	}
@@ -70,18 +75,21 @@ func TestDiskTimes(t *testing.T) {
 }
 
 func TestWriteTimeScales(t *testing.T) {
+	t.Parallel()
 	if WriteTime(2048) <= WriteTime(64) {
 		t.Fatal("write cost must grow with entry size")
 	}
 }
 
 func TestFlushCheaperThanLiveMerge(t *testing.T) {
+	t.Parallel()
 	if FlushPerEntry(24, 512) >= CPULivePairTime(24, 512, 2) {
 		t.Fatal("flushing a pair must cost less than merging it")
 	}
 }
 
 func TestCeilLog2(t *testing.T) {
+	t.Parallel()
 	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
 	for n, want := range cases {
 		if got := CeilLog2(n); got != want {

@@ -12,6 +12,7 @@ import (
 func newList() *List { return New(bytes.Compare, 1) }
 
 func TestEmptyList(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	if l.Len() != 0 {
 		t.Fatal("new list should be empty")
@@ -31,6 +32,7 @@ func TestEmptyList(t *testing.T) {
 }
 
 func TestInsertAndContains(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	keys := []string{"delta", "alpha", "charlie", "bravo", "echo"}
 	for _, k := range keys {
@@ -50,6 +52,7 @@ func TestInsertAndContains(t *testing.T) {
 }
 
 func TestIterationIsSorted(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	var want []string
 	rng := rand.New(rand.NewSource(7))
@@ -78,6 +81,7 @@ func TestIterationIsSorted(t *testing.T) {
 }
 
 func TestSeekGE(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	for _, k := range []string{"b", "d", "f"} {
 		l.Insert([]byte(k))
@@ -99,6 +103,7 @@ func TestSeekGE(t *testing.T) {
 }
 
 func TestSeekLTAndPrev(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	for _, k := range []string{"b", "d", "f"} {
 		l.Insert([]byte(k))
@@ -123,6 +128,7 @@ func TestSeekLTAndPrev(t *testing.T) {
 }
 
 func TestSeekToLast(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	for i := 0; i < 100; i++ {
 		l.Insert([]byte(fmt.Sprintf("%04d", i)))
@@ -135,6 +141,7 @@ func TestSeekToLast(t *testing.T) {
 }
 
 func TestBytesAccounting(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	l.Insert([]byte("abc"))
 	l.Insert([]byte("defgh"))
@@ -146,6 +153,7 @@ func TestBytesAccounting(t *testing.T) {
 // TestConcurrentReadersWithWriter exercises the single-writer /
 // multi-reader contract under the race detector.
 func TestConcurrentReadersWithWriter(t *testing.T) {
+	t.Parallel()
 	l := newList()
 	const total = 2000
 	var wg sync.WaitGroup

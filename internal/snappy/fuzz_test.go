@@ -1,0 +1,34 @@
+package snappy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnappyRoundtrip checks Encode∘Decode is the identity on arbitrary
+// input, and that Decode survives the same bytes interpreted as a
+// (probably corrupt) compressed stream.
+func FuzzSnappyRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello hello hello hello"))
+	f.Add(bytes.Repeat([]byte{0xab}, 70000)) // spans two encode blocks
+	f.Add([]byte{0x04, 0x0c, 'a', 'b', 'c', 'd'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := Encode(nil, data)
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("roundtrip mismatch: %d bytes in, %d out", len(data), len(dec))
+		}
+
+		// Treat the raw input as a compressed stream; it must decode or
+		// fail cleanly, never panic. Skip absurd claimed lengths so the
+		// fuzzer does not spend its time allocating.
+		if n, err := DecodedLen(data); err == nil && n <= 4<<20 {
+			_, _ = Decode(nil, data)
+		}
+	})
+}

@@ -23,11 +23,13 @@ func roundTrip(t *testing.T, src []byte) {
 func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
 
 func TestRoundTripShort(t *testing.T) {
+	t.Parallel()
 	roundTrip(t, []byte("a"))
 	roundTrip(t, []byte("hello world"))
 }
 
 func TestRoundTripRepetitive(t *testing.T) {
+	t.Parallel()
 	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 500))
 	enc := Encode(nil, src)
 	if len(enc) >= len(src)/4 {
@@ -37,6 +39,7 @@ func TestRoundTripRepetitive(t *testing.T) {
 }
 
 func TestRoundTripIncompressible(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	src := make([]byte, 100000)
 	rng.Read(src)
@@ -48,6 +51,7 @@ func TestRoundTripIncompressible(t *testing.T) {
 }
 
 func TestRoundTripAllByteValues(t *testing.T) {
+	t.Parallel()
 	src := make([]byte, 256*7)
 	for i := range src {
 		src[i] = byte(i)
@@ -56,12 +60,14 @@ func TestRoundTripAllByteValues(t *testing.T) {
 }
 
 func TestRoundTripLongRuns(t *testing.T) {
+	t.Parallel()
 	// Long runs exercise the 64-byte copy loop and overlapping copies.
 	roundTrip(t, bytes.Repeat([]byte{0xaa}, 1<<16))
 	roundTrip(t, bytes.Repeat([]byte("ab"), 40000))
 }
 
 func TestRoundTripMultiBlock(t *testing.T) {
+	t.Parallel()
 	// Inputs above 64 KiB are split into multiple encoded blocks.
 	rng := rand.New(rand.NewSource(5))
 	src := make([]byte, 3*65536+17)
@@ -76,6 +82,7 @@ func TestRoundTripMultiBlock(t *testing.T) {
 }
 
 func TestQuickRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(src []byte) bool {
 		enc := Encode(nil, src)
 		got, err := Decode(nil, enc)
@@ -87,6 +94,7 @@ func TestQuickRoundTrip(t *testing.T) {
 }
 
 func TestQuickRoundTripStructured(t *testing.T) {
+	t.Parallel()
 	// Structured inputs with repeats exercise the copy paths more than
 	// quick's random bytes.
 	rng := rand.New(rand.NewSource(99))
@@ -102,6 +110,7 @@ func TestQuickRoundTripStructured(t *testing.T) {
 }
 
 func TestDecodedLen(t *testing.T) {
+	t.Parallel()
 	src := []byte("some text worth compressing, some text worth compressing")
 	enc := Encode(nil, src)
 	n, err := DecodedLen(enc)
@@ -111,6 +120,7 @@ func TestDecodedLen(t *testing.T) {
 }
 
 func TestDecodeCorruptInputs(t *testing.T) {
+	t.Parallel()
 	cases := [][]byte{
 		{},                       // no preamble
 		{0x80},                   // truncated varint
@@ -128,6 +138,7 @@ func TestDecodeCorruptInputs(t *testing.T) {
 }
 
 func TestDecodeRejectsHugeLength(t *testing.T) {
+	t.Parallel()
 	// Preamble claiming 2^40 bytes must not allocate.
 	pre := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
 	if _, err := Decode(nil, pre); err != ErrTooLarge {
@@ -136,6 +147,7 @@ func TestDecodeRejectsHugeLength(t *testing.T) {
 }
 
 func TestMaxEncodedLen(t *testing.T) {
+	t.Parallel()
 	if MaxEncodedLen(-1) != -1 {
 		t.Error("negative length must return -1")
 	}
@@ -145,6 +157,7 @@ func TestMaxEncodedLen(t *testing.T) {
 }
 
 func TestEncodeReusesDst(t *testing.T) {
+	t.Parallel()
 	src := []byte("reuse me, reuse me, reuse me")
 	dst := make([]byte, 0, MaxEncodedLen(len(src)))
 	enc := Encode(dst, src)

@@ -130,15 +130,32 @@ func (it *blockIter) parseNext() bool {
 		return false
 	}
 	data := it.b.data[it.off:]
+	// Check each varint before slicing past it: Uvarint returns a NEGATIVE
+	// count on 64-bit overflow, which would poison the next slice index.
 	shared, n0 := binary.Uvarint(data)
+	if n0 <= 0 {
+		it.corrupt("bad entry header")
+		return false
+	}
 	unshared, n1 := binary.Uvarint(data[n0:])
+	if n1 <= 0 {
+		it.corrupt("bad entry header")
+		return false
+	}
 	vlen, n2 := binary.Uvarint(data[n0+n1:])
-	if n0 <= 0 || n1 <= 0 || n2 <= 0 {
+	if n2 <= 0 {
 		it.corrupt("bad entry header")
 		return false
 	}
 	hdr := n0 + n1 + n2
-	if int(shared) > len(it.key) || hdr+int(unshared)+int(vlen) > len(data) {
+	// Compare in uint64 space before converting: a hostile uvarint can
+	// exceed MaxInt, and int(x) would flip negative and slip past the
+	// bounds checks below.
+	if shared > uint64(len(it.key)) || unshared > uint64(len(data)) || vlen > uint64(len(data)) {
+		it.corrupt("entry overruns block")
+		return false
+	}
+	if hdr+int(unshared)+int(vlen) > len(data) {
 		it.corrupt("entry overruns block")
 		return false
 	}
@@ -254,9 +271,15 @@ func (b *block) keyAtRestart(i int) ([]byte, bool) {
 	}
 	data := b.data[off:]
 	shared, n0 := binary.Uvarint(data)
+	if n0 <= 0 {
+		return nil, false
+	}
 	unshared, n1 := binary.Uvarint(data[n0:])
+	if n1 <= 0 {
+		return nil, false
+	}
 	_, n2 := binary.Uvarint(data[n0+n1:])
-	if n0 <= 0 || n1 <= 0 || n2 <= 0 || shared != 0 {
+	if n2 <= 0 || shared != 0 || unshared > uint64(len(data)) {
 		return nil, false
 	}
 	hdr := n0 + n1 + n2

@@ -1,0 +1,109 @@
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fcae/internal/keys"
+)
+
+// buildFuzzBlock returns a small well-formed block for the seed corpus.
+func buildFuzzBlock(restartInterval, entries int) []byte {
+	w := NewBlockWriter(restartInterval)
+	for i := 0; i < entries; i++ {
+		user := []byte{'k', byte('a' + i)}
+		ikey := keys.MakeInternal(nil, user, uint64(100-i), keys.KindSet)
+		w.Add(ikey, bytes.Repeat([]byte{byte(i)}, i%7))
+	}
+	return w.Finish()
+}
+
+// FuzzBlockDecode throws arbitrary bytes at the block decoder: parsing must
+// either fail cleanly or yield a finite entry sequence — never panic, even
+// on hostile varints or truncated restart arrays.
+func FuzzBlockDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(buildFuzzBlock(16, 5))
+	f.Add(buildFuzzBlock(2, 9))
+	// A shared-prefix length of 2^63: int(shared) used to go negative and
+	// bypass the bounds checks, panicking on the key slice.
+	huge := append(binary.AppendUvarint(nil, 1<<63), 1, 1, 'k', 'v')
+	var tmp [4]byte
+	huge = append(huge, tmp[:]...) // restart offset 0
+	binary.LittleEndian.PutUint32(tmp[:], 1)
+	huge = append(huge, tmp[:]...) // restart count 1
+	f.Add(huge)
+	// Same attack on the unshared length.
+	huge2 := append([]byte{0}, binary.AppendUvarint(nil, 1<<62)...)
+	huge2 = append(huge2, 1, 'v')
+	huge2 = append(huge2, 0, 0, 0, 0, 1, 0, 0, 0)
+	f.Add(huge2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it, err := NewBlockIter(data)
+		if err != nil {
+			return
+		}
+		n := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			_, _ = it.Key(), it.Value()
+			n++
+			// Every entry consumes at least its 3 header bytes, so a
+			// decoded block can never yield more entries than bytes.
+			if n > len(data) {
+				t.Fatalf("iterator yielded %d entries from %d bytes", n, len(data))
+			}
+		}
+		if it.Error() != nil && it.Valid() {
+			t.Fatal("iterator valid after error")
+		}
+	})
+}
+
+// FuzzBlockRoundtrip builds a block from derived ordered entries and checks
+// decode returns them exactly.
+func FuzzBlockRoundtrip(f *testing.F) {
+	f.Add([]byte("seed"), 3, 16)
+	f.Add([]byte{0xff, 0x00, 0x41}, 20, 2)
+	f.Fuzz(func(t *testing.T, raw []byte, entries, restartInterval int) {
+		if entries < 0 || entries > 200 {
+			return
+		}
+		w := NewBlockWriter(restartInterval)
+		var wantK, wantV [][]byte
+		for i := 0; i < entries; i++ {
+			// Strictly increasing user keys; value bytes sliced from raw.
+			user := binary.BigEndian.AppendUint32(nil, uint32(i))
+			if len(raw) > 0 {
+				user = append(user, raw[i%len(raw)])
+			}
+			ikey := keys.MakeInternal(nil, user, uint64(i), keys.KindSet)
+			val := raw[:i%(len(raw)+1)]
+			w.Add(ikey, val)
+			wantK = append(wantK, ikey)
+			wantV = append(wantV, append([]byte(nil), val...))
+		}
+		it, err := NewBlockIter(w.Finish())
+		if err != nil {
+			t.Fatalf("decoding a just-built block: %v", err)
+		}
+		i := 0
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if i >= entries {
+				t.Fatalf("more entries than written (%d)", entries)
+			}
+			if !bytes.Equal(it.Key(), wantK[i]) || !bytes.Equal(it.Value(), wantV[i]) {
+				t.Fatalf("entry %d mismatch", i)
+			}
+			i++
+		}
+		if err := it.Error(); err != nil {
+			t.Fatal(err)
+		}
+		if i != entries {
+			t.Fatalf("decoded %d of %d entries", i, entries)
+		}
+	})
+}

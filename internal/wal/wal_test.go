@@ -39,16 +39,19 @@ func roundTrip(t *testing.T, records [][]byte) {
 }
 
 func TestRoundTripSmallRecords(t *testing.T) {
+	t.Parallel()
 	roundTrip(t, [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")})
 }
 
 func TestRoundTripFragmented(t *testing.T) {
+	t.Parallel()
 	// Records larger than one block must fragment and reassemble.
 	big := bytes.Repeat([]byte("x"), BlockSize*3+123)
 	roundTrip(t, [][]byte{[]byte("pre"), big, []byte("post")})
 }
 
 func TestRoundTripBlockBoundary(t *testing.T) {
+	t.Parallel()
 	// A record that leaves less than a header of trailer space forces
 	// zero padding, which the reader must skip.
 	first := bytes.Repeat([]byte("a"), BlockSize-headerSize-3)
@@ -56,11 +59,13 @@ func TestRoundTripBlockBoundary(t *testing.T) {
 }
 
 func TestRoundTripExactBlockFill(t *testing.T) {
+	t.Parallel()
 	first := bytes.Repeat([]byte("a"), BlockSize-headerSize)
 	roundTrip(t, [][]byte{first, []byte("second")})
 }
 
 func TestRoundTripManyRandomRecords(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	var records [][]byte
 	for i := 0; i < 200; i++ {
@@ -72,6 +77,7 @@ func TestRoundTripManyRandomRecords(t *testing.T) {
 }
 
 func TestReaderDetectsCorruption(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w := NewWriter(&buf, testCRC)
 	if err := w.Append([]byte("a clean record")); err != nil {
@@ -86,6 +92,7 @@ func TestReaderDetectsCorruption(t *testing.T) {
 }
 
 func TestReaderDetectsTornWrite(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w := NewWriter(&buf, testCRC)
 	big := bytes.Repeat([]byte("y"), BlockSize*2)
@@ -101,6 +108,7 @@ func TestReaderDetectsTornWrite(t *testing.T) {
 }
 
 func TestReaderStopsAtTruncatedTail(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w := NewWriter(&buf, testCRC)
 	for i := 0; i < 5; i++ {
@@ -125,6 +133,7 @@ func TestReaderStopsAtTruncatedTail(t *testing.T) {
 }
 
 func TestWriterSizeTracksBytes(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	w := NewWriter(&buf, testCRC)
 	if err := w.Append([]byte("abc")); err != nil {

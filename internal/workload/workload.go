@@ -48,16 +48,26 @@ type ValueGen struct {
 	size int
 }
 
+// NewRand returns the deterministic stream the generators draw from.
+// Passing one shared stream to several *Rand constructors makes an entire
+// benchmark run a function of a single seed; the seed-taking constructors
+// below each derive an independent stream instead.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 // NewValueGen returns a generator of size-byte values whose snappy
 // compression ratio is roughly ratio (0.5 matches db_bench's default).
 func NewValueGen(size int, ratio float64, seed int64) *ValueGen {
+	return NewValueGenRand(size, ratio, NewRand(seed))
+}
+
+// NewValueGenRand is NewValueGen drawing from an injected stream.
+func NewValueGenRand(size int, ratio float64, rng *rand.Rand) *ValueGen {
 	if size < 1 {
 		size = 1
 	}
 	if ratio <= 0 || ratio > 1 {
 		ratio = 0.5
 	}
-	rng := rand.New(rand.NewSource(seed))
 	// Compose ~1 MiB from snippets of length raw = 100*ratio repeated to
 	// 100 bytes, the db_bench trick for tunable compressibility.
 	raw := int(100 * ratio)
@@ -123,7 +133,12 @@ type Uniform struct {
 
 // NewUniform returns a uniform sampler over [0, n).
 func NewUniform(n uint64, seed int64) *Uniform {
-	return &Uniform{N: n, rng: rand.New(rand.NewSource(seed))}
+	return NewUniformRand(n, NewRand(seed))
+}
+
+// NewUniformRand is NewUniform drawing from an injected stream.
+func NewUniformRand(n uint64, rng *rand.Rand) *Uniform {
+	return &Uniform{N: n, rng: rng}
 }
 
 // Next implements Sequence.
@@ -148,7 +163,12 @@ const ZipfianTheta = 0.99
 
 // NewZipfian returns a scrambled zipfian sampler over [0, n).
 func NewZipfian(n uint64, seed int64) *Zipfian {
-	z := &Zipfian{n: n, theta: ZipfianTheta, rng: rand.New(rand.NewSource(seed)), scramble: true}
+	return NewZipfianRand(n, NewRand(seed))
+}
+
+// NewZipfianRand is NewZipfian drawing from an injected stream.
+func NewZipfianRand(n uint64, rng *rand.Rand) *Zipfian {
+	z := &Zipfian{n: n, theta: ZipfianTheta, rng: rng, scramble: true}
 	z.zetan = zeta(n, z.theta)
 	z.alpha = 1 / (1 - z.theta)
 	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - zeta(2, z.theta)/z.zetan)
@@ -206,7 +226,12 @@ type Latest struct {
 // NewLatest returns a latest-distribution sampler; call Observe as inserts
 // grow the key space.
 func NewLatest(n uint64, seed int64) *Latest {
-	z := NewZipfian(n, seed)
+	return NewLatestRand(n, NewRand(seed))
+}
+
+// NewLatestRand is NewLatest drawing from an injected stream.
+func NewLatestRand(n uint64, rng *rand.Rand) *Latest {
+	z := NewZipfianRand(n, rng)
 	z.scramble = false
 	return &Latest{z: z, MaxKey: n - 1}
 }
@@ -259,7 +284,12 @@ type Mix struct {
 
 // NewMix returns an operation chooser; fractions must sum to ~1.
 func NewMix(read, update, insert, scan, rmw float64, seed int64) *Mix {
-	m := &Mix{rng: rand.New(rand.NewSource(seed))}
+	return NewMixRand(read, update, insert, scan, rmw, NewRand(seed))
+}
+
+// NewMixRand is NewMix drawing from an injected stream.
+func NewMixRand(read, update, insert, scan, rmw float64, rng *rand.Rand) *Mix {
+	m := &Mix{rng: rng}
 	m.cum[0] = read
 	m.cum[1] = m.cum[0] + update
 	m.cum[2] = m.cum[1] + insert

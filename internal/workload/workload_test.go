@@ -8,6 +8,7 @@ import (
 )
 
 func TestKeyGenWidthAndOrder(t *testing.T) {
+	t.Parallel()
 	g := NewKeyGen(16)
 	prev := append([]byte(nil), g.Key(0)...)
 	for i := uint64(1); i < 1000; i++ {
@@ -23,6 +24,7 @@ func TestKeyGenWidthAndOrder(t *testing.T) {
 }
 
 func TestValueGenCompressibility(t *testing.T) {
+	t.Parallel()
 	for _, ratio := range []float64{0.25, 0.5, 1.0} {
 		g := NewValueGen(4096, ratio, 1)
 		var total, comp int
@@ -40,6 +42,7 @@ func TestValueGenCompressibility(t *testing.T) {
 }
 
 func TestValueGenSize(t *testing.T) {
+	t.Parallel()
 	g := NewValueGen(512, 0.5, 2)
 	for i := 0; i < 10000; i++ {
 		if len(g.Value()) != 512 {
@@ -49,6 +52,7 @@ func TestValueGenSize(t *testing.T) {
 }
 
 func TestSequential(t *testing.T) {
+	t.Parallel()
 	var s Sequential
 	for i := uint64(0); i < 100; i++ {
 		if s.Next() != i {
@@ -58,6 +62,7 @@ func TestSequential(t *testing.T) {
 }
 
 func TestUniformInRangeAndSpread(t *testing.T) {
+	t.Parallel()
 	u := NewUniform(1000, 3)
 	seen := make(map[uint64]bool)
 	for i := 0; i < 10000; i++ {
@@ -73,6 +78,7 @@ func TestUniformInRangeAndSpread(t *testing.T) {
 }
 
 func TestZipfianSkew(t *testing.T) {
+	t.Parallel()
 	z := NewZipfian(100000, 5)
 	counts := make(map[uint64]int)
 	const n = 200000
@@ -100,6 +106,7 @@ func TestZipfianSkew(t *testing.T) {
 }
 
 func TestZipfianHugeKeySpace(t *testing.T) {
+	t.Parallel()
 	// Construction must stay fast and sane for billion-key spaces.
 	z := NewZipfian(2_000_000_000, 7)
 	for i := 0; i < 1000; i++ {
@@ -110,6 +117,7 @@ func TestZipfianHugeKeySpace(t *testing.T) {
 }
 
 func TestLatestFavorsRecent(t *testing.T) {
+	t.Parallel()
 	l := NewLatest(100000, 9)
 	recent := 0
 	const n = 50000
@@ -129,6 +137,7 @@ func TestLatestFavorsRecent(t *testing.T) {
 }
 
 func TestMixProportions(t *testing.T) {
+	t.Parallel()
 	m := NewMix(0.5, 0.5, 0, 0, 0, 11)
 	var reads, updates int
 	for i := 0; i < 100000; i++ {
@@ -148,6 +157,7 @@ func TestMixProportions(t *testing.T) {
 }
 
 func TestMixAllKinds(t *testing.T) {
+	t.Parallel()
 	m := NewMix(0.2, 0.2, 0.2, 0.2, 0.2, 13)
 	seen := map[Op]bool{}
 	for i := 0; i < 1000; i++ {
@@ -156,6 +166,26 @@ func TestMixAllKinds(t *testing.T) {
 	for _, op := range []Op{OpRead, OpUpdate, OpInsert, OpScan, OpRMW} {
 		if !seen[op] {
 			t.Fatalf("op %d never chosen", op)
+		}
+	}
+}
+
+func TestInjectedRandReproducible(t *testing.T) {
+	t.Parallel()
+	sample := func() []uint64 {
+		rng := NewRand(99)
+		z := NewZipfianRand(1000, rng)
+		m := NewMixRand(0.5, 0.5, 0, 0, 0, rng)
+		var out []uint64
+		for i := 0; i < 200; i++ {
+			out = append(out, z.Next(), uint64(m.Next()))
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d != %d", i, a[i], b[i])
 		}
 	}
 }
