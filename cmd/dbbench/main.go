@@ -8,6 +8,11 @@
 //	dbbench [-db DIR] [-benchmarks fillseq,fillrandom,overwrite,readrandom,readseq,deleterandom]
 //	        [-num 100000] [-value_size 128] [-key_size 16] [-backend cpu|fcae]
 //	        [-engine_n 9] [-engine_v 8] [-compression_ratio 0.5]
+//	        [-trace out.jsonl] [-metrics]
+//
+// -trace writes one JSON line per compaction (inputs, outputs, pairs,
+// modeled kernel/PCIe time, phase spans); -metrics dumps the final metrics
+// snapshot as JSON on stdout, machine-readable for BENCH_*.json tooling.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 	engineN := flag.Int("engine_n", 9, "FCAE decoder lanes")
 	engineV := flag.Int("engine_v", 8, "FCAE value lane width")
 	ratio := flag.Float64("compression_ratio", 0.5, "value compressibility")
+	tracePath := flag.String("trace", "", "write per-compaction JSONL trace records to this file")
+	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	flag.Parse()
 
 	if *dir == "" {
@@ -52,6 +59,16 @@ func main() {
 			fatal(err)
 		}
 		opts.Executor = exec
+	}
+	var tw *fcae.TraceWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = fcae.NewTraceWriter(f)
+		opts.EventListener = tw
 	}
 	db, err := fcae.Open(*dir, opts)
 	if err != nil {
@@ -79,6 +96,20 @@ func main() {
 		st.CompactionRead, st.CompactionWrite, st.KernelTime, st.TransferTime, st.StallTime)
 	levels := db.LevelFiles()
 	fmt.Printf("level files: %v\n", levels)
+
+	if *metrics {
+		out, err := db.Metrics().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s\n", out)
+	}
+	if tw != nil {
+		if err := tw.Err(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
 }
 
 func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float64) error {

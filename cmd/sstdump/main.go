@@ -64,28 +64,22 @@ func dump(path string, blocks, entries bool) error {
 
 	fmt.Printf("%s: %d bytes\n", path, st.Size())
 	if blocks {
-		i := 0
-		var raw, comp int64
-		err := r.VisitRawBlocks(func(b sstable.RawBlock) error {
-			kind := "raw"
-			if b.CType == byte(sstable.SnappyCompression) {
-				kind = "snappy"
-			}
+		layout, err := r.Layout()
+		if err != nil {
+			return err
+		}
+		for i, b := range layout.Blocks {
 			p, ok := keys.Parse(b.IndexKey)
 			sep := fmt.Sprintf("%q", b.IndexKey)
 			if ok {
 				sep = p.String()
 			}
-			fmt.Printf("  block %4d: %6d bytes (%s)  sep=%s\n", i, len(b.Payload), kind, sep)
-			comp += int64(len(b.Payload))
-			raw += int64(len(b.Payload)) // decoded size unknown without decompressing
-			i++
-			return nil
-		})
-		if err != nil {
-			return err
+			fmt.Printf("  block %4d: %6d bytes (%d decoded, %s)  %4d entries  %2d restarts  sep=%s\n",
+				i, b.PayloadLen, b.ContentLen, b.Compression, b.Entries, b.Restarts, sep)
 		}
-		fmt.Printf("  %d data blocks, %d payload bytes\n", i, comp)
+		fmt.Printf("  %d data blocks: %d payload bytes (%d decoded), %d entries, %d restarts\n",
+			len(layout.Blocks), layout.PayloadBytes, layout.ContentBytes,
+			layout.Entries, layout.Restarts)
 	}
 
 	it := r.NewIterator()

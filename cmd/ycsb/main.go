@@ -4,7 +4,10 @@
 // Usage:
 //
 //	ycsb [-db DIR] [-workloads load,a,b,c,d,e,f] [-records 100000]
-//	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae]
+//	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae] [-metrics]
+//
+// -metrics dumps the final metrics snapshot as JSON on stdout,
+// machine-readable for BENCH_*.json tooling.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	valueSize := flag.Int("value_size", 1024, "value length in bytes")
 	backend := flag.String("backend", "cpu", "compaction backend: cpu or fcae")
 	seed := flag.Int64("seed", 7, "RNG seed; every generator derives from this one stream")
+	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	flag.Parse()
 
 	if *dir == "" {
@@ -79,6 +83,14 @@ func main() {
 		if err := run(db, sp, n, *records, *valueSize, *seed, &inserted); err != nil {
 			fatal(fmt.Errorf("workload %s: %w", sp.name, err))
 		}
+	}
+
+	if *metrics {
+		out, err := db.Metrics().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%s\n", out)
 	}
 }
 

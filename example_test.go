@@ -85,6 +85,43 @@ func ExampleBatch() {
 	// Output: true 2
 }
 
+// flushLogger counts flush events. Embedding NoopListener keeps it
+// compiling as new event kinds are added.
+type flushLogger struct {
+	fcae.NoopListener
+	begins, ends, tables int
+}
+
+func (f *flushLogger) FlushBegin(fcae.FlushBeginEvent) { f.begins++ }
+func (f *flushLogger) FlushEnd(fcae.FlushEndEvent)     { f.ends++ }
+func (f *flushLogger) TableCreated(fcae.TableCreatedEvent) {
+	f.tables++
+}
+
+// ExampleDB_listener observes a flush through an EventListener and reads
+// the matching counter from the metrics registry. Events are delivered
+// outside the store's locks; Flush returning guarantees the listener has
+// seen the flush's events.
+func ExampleDB_listener() {
+	dir, _ := os.MkdirTemp("", "fcae-example-")
+	defer os.RemoveAll(dir)
+
+	logger := &flushLogger{}
+	db, err := fcae.Open(dir, fcae.Options{EventListener: logger})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("hello"), []byte("world"))
+	db.Flush()
+
+	m := db.Metrics()
+	fmt.Printf("flush begin/end: %d/%d, tables created: %d, flush_count: %d\n",
+		logger.begins, logger.ends, logger.tables, m.Counters["flush_count"])
+	// Output: flush begin/end: 1/1, tables created: 1, flush_count: 1
+}
+
 // ExampleEngineConfig_Resources estimates chip utilization for a
 // configuration, as in the paper's Table VII.
 func ExampleEngineConfig_Resources() {

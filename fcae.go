@@ -6,6 +6,29 @@
 // same merges the hardware would while accounting device cycles with the
 // paper's pipeline model.
 //
+// The API groups into three areas:
+//
+//   - Database lifecycle: Open, Repair, DB and its Put/Get/Write/Iterator
+//     methods, Batch, Snapshot. The zero Options value is a working
+//     configuration (the paper's Table IV defaults); Options.Validate
+//     rejects contradictory settings with a descriptive error instead of
+//     silently clamping them.
+//
+//   - Engine configuration: EngineConfig describes a synthesized engine
+//     (decoder lanes N, value lane width V, AXI widths, clock);
+//     DefaultEngineConfig and MultiInputEngineConfig are the paper's two
+//     build points, NewEngineExecutor turns one into a CompactionExecutor
+//     for Options.Executor, and CPUExecutor is the software baseline.
+//
+//   - Observability: an EventListener set in Options receives typed
+//     lifecycle events (flushes, compactions with per-phase Trace spans
+//     and modeled kernel/PCIe transfer time, write stalls, table
+//     lifecycle, background errors); DB.Metrics snapshots the named
+//     counter/gauge/histogram registry alongside the flat DB.Stats.
+//     Events are sequenced under the store mutex but delivered strictly
+//     outside it — listeners may read DB state but must not invoke
+//     blocking operations such as Flush or Close.
+//
 // Quickstart:
 //
 //	db, err := fcae.Open(dir, fcae.Options{Executor: fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())})
@@ -21,15 +44,17 @@ import (
 	"fcae/internal/compaction"
 	"fcae/internal/core"
 	"fcae/internal/lsm"
+	"fcae/internal/obs"
 )
 
-// Re-exported database types. See the lsm package for method documentation.
+// Database lifecycle types. See the lsm package for method documentation.
 type (
 	// DB is the key-value store handle.
 	DB = lsm.DB
 	// Options configure Open; the zero value uses the paper's defaults
 	// (Table IV: 16-byte keys are a workload property; 4 KiB blocks,
-	// leveling ratio 10, 2 MiB tables).
+	// leveling ratio 10, 2 MiB tables). Options.Validate reports
+	// contradictory settings; Open calls it for you.
 	Options = lsm.Options
 	// Batch is an atomic group of writes.
 	Batch = lsm.Batch
@@ -55,6 +80,76 @@ type (
 	CompactionExecutor = compaction.Executor
 )
 
+// Observability types. An EventListener set in Options.EventListener
+// receives typed lifecycle events; DB.Metrics returns a Metrics snapshot
+// of the named instrument registry. See the obs package for the full
+// delivery contract.
+type (
+	// EventListener receives store lifecycle events. Embed NoopListener
+	// to stay forward-compatible as events are added.
+	EventListener = obs.EventListener
+	// NoopListener implements EventListener with empty methods.
+	NoopListener = obs.NoopListener
+	// MultiListener fans events out to several listeners in order.
+	MultiListener = obs.MultiListener
+
+	// FlushBeginEvent announces an immutable-memtable flush.
+	FlushBeginEvent = obs.FlushBeginEvent
+	// FlushEndEvent reports a finished (or failed) flush.
+	FlushEndEvent = obs.FlushEndEvent
+	// CompactionBeginEvent announces a scheduled compaction.
+	CompactionBeginEvent = obs.CompactionBeginEvent
+	// CompactionEndEvent reports a finished compaction: inputs, outputs,
+	// pairs merged/dropped, executor, modeled kernel + transfer time and
+	// the per-phase Trace.
+	CompactionEndEvent = obs.CompactionEndEvent
+	// WriteStallBeginEvent announces a foreground write throttle.
+	WriteStallBeginEvent = obs.WriteStallBeginEvent
+	// WriteStallEndEvent reports the end of a write throttle.
+	WriteStallEndEvent = obs.WriteStallEndEvent
+	// TableCreatedEvent reports a new live table file.
+	TableCreatedEvent = obs.TableCreatedEvent
+	// TableDeletedEvent reports removal of an obsolete table file.
+	TableDeletedEvent = obs.TableDeletedEvent
+	// BackgroundErrorEvent reports a background failure or a recovered
+	// listener panic.
+	BackgroundErrorEvent = obs.BackgroundErrorEvent
+	// TableInfo identifies one table file inside an event.
+	TableInfo = obs.TableInfo
+	// StallReason says why a write throttled.
+	StallReason = obs.StallReason
+
+	// Metrics is a typed snapshot of the store's metric registry, with
+	// JSON and expvar-style text encoders.
+	Metrics = obs.Metrics
+	// HistogramSnapshot is one histogram's state inside a Metrics.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// Trace holds a compaction's phase spans (open_runs, build_images,
+	// merge, flush_table, manifest_apply).
+	Trace = obs.Trace
+	// Span is one recorded trace phase.
+	Span = obs.Span
+	// TraceWriter is an EventListener writing one JSON line per finished
+	// compaction, the `dbbench -trace` format.
+	TraceWriter = obs.TraceWriter
+	// TraceRecord is the JSONL schema TraceWriter emits.
+	TraceRecord = obs.TraceRecord
+)
+
+// Stall reasons carried by WriteStallBegin/End events.
+const (
+	// StallL0Slowdown is the soft 1 ms throttle when L0 backs up.
+	StallL0Slowdown = obs.StallL0Slowdown
+	// StallMemTableFull waits on the previous memtable flush.
+	StallMemTableFull = obs.StallMemTableFull
+	// StallL0Stop is the hard stop at the L0 file-count limit.
+	StallL0Stop = obs.StallL0Stop
+)
+
+// NewTraceWriter returns a TraceWriter appending JSONL trace records to w.
+// Set it as (or inside) Options.EventListener.
+var NewTraceWriter = obs.NewTraceWriter
+
 // Errors re-exported from the store.
 var (
 	// ErrNotFound is returned by Get when a key has no value.
@@ -63,7 +158,8 @@ var (
 	ErrClosed = lsm.ErrClosed
 )
 
-// Open opens (creating if necessary) a database in dir.
+// Open opens (creating if necessary) a database in dir. Contradictory
+// options are rejected with a descriptive error (see Options.Validate).
 func Open(dir string, opts Options) (*DB, error) { return lsm.Open(dir, opts) }
 
 // Repair rebuilds a database whose MANIFEST/CURRENT metadata is lost or
@@ -82,7 +178,8 @@ func MultiInputEngineConfig() EngineConfig { return core.MultiInputConfig() }
 
 // NewEngineExecutor returns a compaction executor backed by a simulated
 // FCAE engine with cfg. Pass it in Options.Executor; jobs whose fan-in
-// exceeds cfg.N fall back to software automatically (paper §VI-A).
+// exceeds cfg.N fall back to software automatically (paper §VI-A). The
+// executor also publishes engine_* gauges into DB.Metrics.
 func NewEngineExecutor(cfg EngineConfig) (CompactionExecutor, error) {
 	return core.NewExecutor(cfg)
 }

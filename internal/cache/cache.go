@@ -3,7 +3,10 @@
 // size.
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 const shardCount = 16
 
@@ -16,6 +19,8 @@ type Key struct {
 // Cache is a fixed-capacity sharded LRU. The zero value is unusable; call
 // New.
 type Cache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
 	shards [shardCount]shard
 }
 
@@ -39,7 +44,18 @@ func (c *Cache) shard(k Key) *shard {
 }
 
 // Get returns the cached value for k, if present.
-func (c *Cache) Get(k Key) ([]byte, bool) { return c.shard(k).get(k) }
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	v, ok := c.shard(k).get(k)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits.Load(), c.misses.Load() }
 
 // Set inserts v under k, evicting LRU entries to stay within capacity.
 func (c *Cache) Set(k Key, v []byte) { c.shard(k).set(k, v) }

@@ -12,6 +12,7 @@ import (
 
 	"fcae/internal/iter"
 	"fcae/internal/keys"
+	"fcae/internal/obs"
 	"fcae/internal/sstable"
 )
 
@@ -36,6 +37,9 @@ type Job struct {
 	TableOpts sstable.Options
 	// MaxOutputBytes caps each output table (paper: ~2 MB per SSTable).
 	MaxOutputBytes uint64
+	// Trace, when non-nil, collects phase spans as the executor runs
+	// (flush_table per output; the FCAE executor adds build_images).
+	Trace *obs.Trace
 }
 
 // NumRuns returns the number of sorted input streams (the paper's N).
@@ -311,7 +315,9 @@ func (CPU) Compact(job *Job, env Env) (*Result, error) {
 		// one-file-per-level lookup invariant).
 		if out != nil && uint64(out.w.EstimatedSize()) >= job.MaxOutputBytes &&
 			keys.CompareUser(keys.UserKey(ikey), lastUser) != 0 {
+			done := job.Trace.StartSpan("flush_table")
 			ot, err := out.finish()
+			done()
 			if err != nil {
 				return nil, err
 			}
@@ -335,7 +341,9 @@ func (CPU) Compact(job *Job, env Env) (*Result, error) {
 		return nil, err
 	}
 	if out != nil {
+		done := job.Trace.StartSpan("flush_table")
 		ot, err := out.finish()
+		done()
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"fcae/internal/compaction"
 	"fcae/internal/model"
+	"fcae/internal/obs"
 	"fcae/internal/sstable"
 )
 
@@ -55,6 +56,7 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	// Step 3-4 (paper §IV): serialize each input into its device image.
 	// The MetaIn block crosses the DMA boundary as real bytes (Fig 8);
 	// the "device side" decodes it back before the engine starts.
+	buildDone := job.Trace.StartSpan("build_images")
 	images := make([]*InputImage, 0, len(job.Runs))
 	for _, run := range job.Runs {
 		img, err := BuildInputImage(run, x.engine.cfg.WIn, job.TableOpts)
@@ -72,6 +74,7 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	for _, img := range images {
 		shipBytes += img.Bytes()
 	}
+	buildDone()
 
 	// Step 5-7: run the engine.
 	er, err := x.engine.Run(images, Params{
@@ -98,7 +101,9 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	var returnBytes int64
 	for i, img := range er.Outputs {
 		returnBytes += img.DataBytes(x.engine.cfg.WOut) + img.IndexBytes() + int64(len(metaOut[i].Smallest)+len(metaOut[i].Largest)+12)
+		done := job.Trace.StartSpan("flush_table")
 		ot, err := assembleTable(img, env, job.TableOpts)
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -135,6 +140,29 @@ func (x *Executor) Totals() (jobs int, kernelCycles float64, shipped, returned i
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	return x.jobs, x.kernelCycles, x.bytesShipped, x.bytesReturned
+}
+
+// PublishMetrics implements obs.MetricsPublisher: the engine's lifetime
+// totals appear as callback gauges. The callbacks wait for an in-flight
+// job (they take the executor mutex) but never touch the registry, so
+// snapshotting cannot deadlock against a running compaction.
+func (x *Executor) PublishMetrics(r *obs.Registry) {
+	r.GaugeFunc("engine_jobs", func() float64 {
+		jobs, _, _, _ := x.Totals()
+		return float64(jobs)
+	})
+	r.GaugeFunc("engine_kernel_cycles", func() float64 {
+		_, cycles, _, _ := x.Totals()
+		return cycles
+	})
+	r.GaugeFunc("engine_shipped_bytes", func() float64 {
+		_, _, shipped, _ := x.Totals()
+		return float64(shipped)
+	})
+	r.GaugeFunc("engine_returned_bytes", func() float64 {
+		_, _, _, returned := x.Totals()
+		return float64(returned)
+	})
 }
 
 // BuildInputImage serializes one sorted run of tables into a device image

@@ -68,7 +68,7 @@ type localView struct {
 
 func checkBufAlias(pass *Pass, fd *ast.FuncDecl) {
 	var locals []localView
-	assignedIdents := make(map[*ast.Ident]bool) // idents appearing as assignment targets
+	assignedIdents := make(map[*ast.Ident]bool)  // idents appearing as assignment targets
 	writes := make(map[types.Object][]token.Pos) // all writes per local object
 	repositions := make(map[string][]token.Pos)  // Next/Prev calls per printed receiver
 

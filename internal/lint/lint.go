@@ -6,7 +6,8 @@
 //
 // The suite encodes invariants the compiler cannot check and that matter
 // specifically to an LSM-tree store driving a device compaction engine:
-// lock discipline around the DB's big mutex, error wrapping on recovery
+// lock discipline around the DB's big mutex, the no-listener-callbacks-
+// under-lock rule of the observability layer, error wrapping on recovery
 // paths, iterator buffer lifetimes, swallowed I/O errors on durability
 // paths, and containment of the paper's device-cycle accounting model.
 // See DESIGN.md ("Static analysis") for the invariant each analyzer
@@ -61,7 +62,7 @@ type Analyzer struct {
 
 // Analyzers returns the full fcaelint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MutexGuard, ErrWrap, BufAlias, UncheckedClose, CycleFlow}
+	return []*Analyzer{MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow}
 }
 
 // Check runs the given analyzers over every package and returns the

@@ -121,6 +121,115 @@ func (p *plain) Bump() { p.n++ }
 	wantClean(t, diags)
 }
 
+func TestObsCallbackBad(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, lint.ObsCallback, map[string]string{
+		"p.go": `package p
+
+import "sync"
+
+type Event struct{}
+
+type EventListener interface {
+	FlushBegin(Event)
+	FlushEnd(Event)
+}
+
+type db struct {
+	mu       sync.Mutex
+	listener EventListener
+}
+
+func (d *db) underLock() {
+	d.mu.Lock()
+	d.listener.FlushBegin(Event{})
+	d.mu.Unlock()
+}
+
+// A deferred Unlock runs at return; the call is still under the lock.
+func (d *db) deferredUnlock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.listener.FlushEnd(Event{})
+}
+
+// The *Locked suffix declares the caller holds mu on entry.
+func (d *db) emitLocked() {
+	d.listener.FlushBegin(Event{})
+}
+`,
+	})
+	wantFindings(t, diags,
+		"underLock invokes EventListener method FlushBegin while mu is held",
+		"deferredUnlock invokes EventListener method FlushEnd while mu is held",
+		"emitLocked invokes EventListener method FlushBegin while mu is held",
+	)
+}
+
+func TestObsCallbackGood(t *testing.T) {
+	t.Parallel()
+	diags := checkFixture(t, lint.ObsCallback, map[string]string{
+		"p.go": `package p
+
+import "sync"
+
+type Event struct{}
+
+type EventListener interface {
+	FlushBegin(Event)
+	FlushEnd(Event)
+}
+
+type db struct {
+	mu       sync.Mutex
+	evMu     sync.Mutex
+	listener EventListener
+	pending  []func(EventListener)
+}
+
+// The sanctioned pattern: sequence under mu, deliver after Unlock. The
+// queued closure is a fresh body — listener calls inside it are legal even
+// though the literal appears while mu is held.
+func (d *db) queueAndDrain() {
+	d.mu.Lock()
+	ev := Event{}
+	d.pending = append(d.pending, func(l EventListener) { l.FlushBegin(ev) })
+	batch := d.pending
+	d.pending = nil
+	d.mu.Unlock()
+	for _, fn := range batch {
+		fn(d.listener)
+	}
+}
+
+// Calling the listener after a visible Unlock is fine, as is holding a
+// differently-named mutex (evMu serializes delivery by design).
+func (d *db) deliver() {
+	d.evMu.Lock()
+	defer d.evMu.Unlock()
+	d.mu.Lock()
+	ev := Event{}
+	d.mu.Unlock()
+	d.listener.FlushEnd(ev)
+}
+
+// No mutex in scope at all.
+func emit(l EventListener) { l.FlushBegin(Event{}) }
+
+// Re-acquiring after delivery keeps later queue appends legal.
+func (d *db) relock() {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.listener.FlushBegin(Event{})
+	d.mu.Lock()
+	d.pending = nil
+	d.mu.Unlock()
+}
+`,
+	})
+	wantClean(t, diags)
+}
+
 func TestErrWrapBad(t *testing.T) {
 	t.Parallel()
 	diags := checkFixture(t, lint.ErrWrap, map[string]string{

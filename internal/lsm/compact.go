@@ -10,6 +10,7 @@ import (
 	"fcae/internal/keys"
 	"fcae/internal/manifest"
 	"fcae/internal/memtable"
+	"fcae/internal/obs"
 	"fcae/internal/sstable"
 )
 
@@ -19,32 +20,56 @@ import (
 // compaction is executing on the engine.
 func (db *DB) flushWorker() {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	for {
 		for !db.closed && db.bgErr == nil && db.imm == nil {
 			db.bgCond.Wait()
 		}
 		if db.closed || db.bgErr != nil {
 			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			db.flushEvents()
 			return
 		}
 		db.flushBusy = true
 		imm := db.imm
-		if err := db.flushMem(imm); err != nil {
+		if err := db.flushMem(imm, db.nextJobIDLocked()); err != nil {
 			db.bgErr = err
+			db.queueEventLocked(func(l obs.EventListener) {
+				l.BackgroundError(obs.BackgroundErrorEvent{Op: "flush", Err: err})
+			})
 		} else {
 			db.imm = nil
 		}
-		db.flushBusy = false
 		db.deleteObsoleteFilesLocked()
+		// Deliver outside the mutex. flushBusy stays set until delivery
+		// completes, so Flush/WaitIdle/Close returning implies the
+		// listener has observed this flush.
+		db.mu.Unlock()
+		db.flushEvents()
+		db.mu.Lock()
+		db.flushBusy = false
 		db.bgCond.Broadcast()
 	}
 }
 
 // flushMem writes mem as an L0 table and logs the edit. Callers hold
 // db.mu; the mutex is released during the table build so foreground writes
-// and compactions continue.
-func (db *DB) flushMem(mem *memtable.MemTable) error {
+// and compactions continue. Every path queues a FlushEnd matching the
+// FlushBegin queued here.
+func (db *DB) flushMem(mem *memtable.MemTable, jobID uint64) (err error) {
+	start := time.Now()
+	db.queueEventLocked(func(l obs.EventListener) {
+		l.FlushBegin(obs.FlushBeginEvent{JobID: jobID, MemTableBytes: mem.ApproximateSize()})
+	})
+	var output obs.TableInfo
+	defer func() {
+		wall := time.Since(start)
+		ferr := err
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.FlushEnd(obs.FlushEndEvent{JobID: jobID, Output: output, Wall: wall, Err: ferr})
+		})
+	}()
+
 	num := db.vs.AllocFileNum()
 	walNum := db.walNum
 	// Guard the half-built table from the obsolete-file sweep until its
@@ -52,6 +77,7 @@ func (db *DB) flushMem(mem *memtable.MemTable) error {
 	db.pendingOutputs[num] = true
 	defer delete(db.pendingOutputs, num)
 	db.mu.Unlock()
+	db.flushEvents() // let the listener see FlushBegin before the build
 	meta, err := db.buildTable(num, mem)
 	db.mu.Lock()
 	if err != nil {
@@ -69,7 +95,15 @@ func (db *DB) flushMem(mem *memtable.MemTable) error {
 	if meta != nil {
 		db.stats.Flushes++
 		db.stats.FlushBytes += int64(meta.Size)
+		db.met.flushes.Inc()
+		db.met.flushBytes.Add(int64(meta.Size))
+		db.met.tablesCreated.Inc()
+		output = obs.TableInfo{Num: meta.Num, Level: 0, Size: int64(meta.Size)}
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.TableCreated(obs.TableCreatedEvent{JobID: jobID, Table: output})
+		})
 	}
+	db.met.flushWall.ObserveDuration(time.Since(start))
 	db.bgCond.Broadcast() // compactions may now be needed
 	return nil
 }
@@ -121,12 +155,13 @@ func (db *DB) buildTable(num uint64, mem *memtable.MemTable) (*manifest.FileMeta
 // paper §II-A), offloading to the configured executor.
 func (db *DB) compactWorker() {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	for {
 		var c *manifest.Compaction
 		for {
 			if db.closed || db.bgErr != nil {
 				db.bgCond.Broadcast()
+				db.mu.Unlock()
+				db.flushEvents()
 				return
 			}
 			if db.manualLevel >= 0 {
@@ -147,9 +182,17 @@ func (db *DB) compactWorker() {
 		err := db.runCompaction(c)
 		if err != nil {
 			db.bgErr = err
+			db.queueEventLocked(func(l obs.EventListener) {
+				l.BackgroundError(obs.BackgroundErrorEvent{Op: "compaction", Err: err})
+			})
 		}
-		db.compactBusy = false
 		db.deleteObsoleteFilesLocked()
+		// Deliver outside the mutex; compactBusy stays set until delivery
+		// completes so CompactLevel/WaitIdle/Close imply delivery.
+		db.mu.Unlock()
+		db.flushEvents()
+		db.mu.Lock()
+		db.compactBusy = false
 		db.bgCond.Broadcast()
 	}
 }
@@ -165,6 +208,7 @@ func (db *DB) chargeSeek(level int, f *manifest.FileMetadata) {
 		f.AllowedSeeks--
 		if f.AllowedSeeks == 0 && db.manualLevel < 0 && level < manifest.NumLevels-1 {
 			db.stats.SeekCompactions++
+			db.met.seekCompactions.Inc()
 			db.manualLevel = level
 			db.bgCond.Broadcast()
 		}
@@ -183,10 +227,22 @@ func (db *DB) smallestSnapshotLocked() uint64 {
 }
 
 // runCompaction executes one picked compaction. Called with db.mu held;
-// the mutex is released while the executor runs.
-func (db *DB) runCompaction(c *manifest.Compaction) error {
+// the mutex is released while the executor runs. Once a CompactionBegin is
+// queued, every return path queues the matching CompactionEnd.
+func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
+	jobID := db.nextJobIDLocked()
+	start := time.Now()
+	inputs := tableInfos(c.Inputs[0], c.Level)
+	inputs = append(inputs, tableInfos(c.Inputs[1], c.Level+1)...)
+
 	if !c.Tiered && c.IsTrivialMove() {
 		f := c.Inputs[0][0]
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.CompactionBegin(obs.CompactionBeginEvent{
+				JobID: jobID, Level: c.Level, OutputLevel: c.Level + 1,
+				TrivialMove: true, Inputs: inputs,
+			})
+		})
 		edit := &manifest.VersionEdit{}
 		edit.DeleteFile(c.Level, f.Num)
 		// The moved file joins the target level's single run 0 (its L0
@@ -197,18 +253,63 @@ func (db *DB) runCompaction(c *manifest.Compaction) error {
 		edit.AddFile(c.Level+1, &moved)
 		c.RecordCompactPointer(edit)
 		db.stats.TrivialMoves++
-		return db.vs.LogAndApply(edit)
+		db.met.trivialMoves.Inc()
+		err = db.vs.LogAndApply(edit)
+		movedInfo := obs.TableInfo{Num: f.Num, Level: c.Level + 1, Size: int64(f.Size)}
+		wall := time.Since(start)
+		moveErr := err
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.CompactionEnd(obs.CompactionEndEvent{
+				JobID: jobID, Level: c.Level, OutputLevel: c.Level + 1,
+				TrivialMove: true, Inputs: inputs,
+				Outputs: []obs.TableInfo{movedInfo},
+				Wall:    wall, Err: moveErr,
+			})
+		})
+		return err
 	}
+
+	outLevel := c.OutputLevel()
+	db.queueEventLocked(func(l obs.EventListener) {
+		l.CompactionBegin(obs.CompactionBeginEvent{
+			JobID: jobID, Level: c.Level, OutputLevel: outLevel, Inputs: inputs,
+		})
+	})
+	tr := obs.NewTrace()
+	var (
+		outputs  []obs.TableInfo
+		execName string
+		fellBack bool
+		cstats   compaction.Stats
+	)
+	defer func() {
+		wall := time.Since(start)
+		endErr := err
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.CompactionEnd(obs.CompactionEndEvent{
+				JobID: jobID, Level: c.Level, OutputLevel: outLevel,
+				Executor: execName, Fallback: fellBack,
+				Inputs: inputs, Outputs: outputs,
+				PairsIn: cstats.PairsIn, PairsOut: cstats.PairsOut,
+				PairsDropped: cstats.PairsDropped,
+				BytesRead:    cstats.BytesRead, BytesWritten: cstats.BytesWritten,
+				KernelTime: cstats.KernelTime, TransferTime: cstats.TransferTime,
+				Wall: wall, Trace: tr, Err: endErr,
+			})
+		})
+	}()
 
 	job := &compaction.Job{
 		SmallestSnapshot: db.smallestSnapshotLocked(),
 		BottomLevel:      c.IsBottomLevel(db.vs.Current()),
 		TableOpts:        db.opts.tableOpts(),
 		MaxOutputBytes:   db.opts.MaxOutputFileBytes,
+		Trace:            tr,
 	}
 
 	// Level-0 inputs each form their own sorted run; a deeper level's
 	// files concatenate into one run (paper §IV step 2).
+	openDone := tr.StartSpan("open_runs")
 	var opened []*os.File
 	defer func() {
 		for _, f := range opened {
@@ -252,20 +353,24 @@ func (db *DB) runCompaction(c *manifest.Compaction) error {
 			return err
 		}
 	}
+	openDone()
 
 	// Route to the engine when the fan-in fits, otherwise software
 	// (paper Fig 6).
 	exec := db.opts.Executor
-	fellBack := false
 	if max := exec.MaxRuns(); max > 0 && job.NumRuns() > max {
 		exec = compaction.CPU{}
 		fellBack = true
 	}
+	execName = exec.Name()
 
 	env := &dbEnv{db: db}
-	start := time.Now()
 	db.mu.Unlock()
-	res, err := exec.Compact(job, env)
+	db.flushEvents() // let the listener see CompactionBegin before the merge
+	mergeDone := tr.StartSpan("merge")
+	var res *compaction.Result
+	res, err = exec.Compact(job, env)
+	mergeDone()
 	db.mu.Lock()
 	defer func() {
 		// This job's outputs are either referenced by the applied edit or
@@ -277,6 +382,7 @@ func (db *DB) runCompaction(c *manifest.Compaction) error {
 	if err != nil {
 		return err
 	}
+	cstats = res.Stats
 
 	edit := &manifest.VersionEdit{}
 	for level, side := range c.Inputs {
@@ -300,26 +406,48 @@ func (db *DB) runCompaction(c *manifest.Compaction) error {
 		})
 	}
 	c.RecordCompactPointer(edit)
-	if err := db.vs.LogAndApply(edit); err != nil {
+	applyDone := tr.StartSpan("manifest_apply")
+	if err = db.vs.LogAndApply(edit); err != nil {
 		return err
+	}
+	applyDone()
+
+	for _, out := range res.Outputs {
+		info := obs.TableInfo{Num: out.Num, Level: outLevel, Size: out.Size}
+		outputs = append(outputs, info)
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.TableCreated(obs.TableCreatedEvent{JobID: jobID, Table: info})
+		})
 	}
 
 	db.stats.Compactions++
+	db.met.compactions.Inc()
 	if exec.Name() == "fcae" {
 		db.stats.HWCompactions++
+		db.met.hwCompactions.Inc()
 	}
 	if fellBack {
 		db.stats.SWFallbacks++
+		db.met.swFallbacks.Inc()
 	}
 	db.stats.CompactionRead += res.Stats.BytesRead
 	db.stats.CompactionWrite += res.Stats.BytesWritten
 	db.stats.KernelTime += res.Stats.KernelTime
 	db.stats.TransferTime += res.Stats.TransferTime
+	db.met.compactionRead.Add(res.Stats.BytesRead)
+	db.met.compactionWrite.Add(res.Stats.BytesWritten)
+	db.met.kernelNanos.Add(res.Stats.KernelTime.Nanoseconds())
+	db.met.transferNanos.Add(res.Stats.TransferTime.Nanoseconds())
+	db.met.tablesCreated.Add(int64(len(res.Outputs)))
+	db.met.compactionWall.ObserveDuration(time.Since(start))
 	ls := &db.stats.Levels[c.Level]
 	ls.Compactions++
 	ls.BytesRead += res.Stats.BytesRead
 	ls.BytesWritten += res.Stats.BytesWritten
 	ls.Wall += time.Since(start)
+	db.met.levelCompactions[c.Level].Inc()
+	db.met.levelRead[c.Level].Add(res.Stats.BytesRead)
+	db.met.levelWrite[c.Level].Add(res.Stats.BytesWritten)
 	return nil
 }
 
@@ -389,7 +517,9 @@ func (db *DB) Flush() error {
 	db.imm = db.mem
 	db.mem = memtable.New(db.nextMemSeedLocked())
 	db.bgCond.Broadcast()
-	for db.imm != nil && db.bgErr == nil && !db.closed {
+	// flushBusy clears only after the flush worker delivered its events,
+	// so a returned Flush implies the listener saw FlushEnd.
+	for (db.imm != nil || db.flushBusy) && db.bgErr == nil && !db.closed {
 		db.bgCond.Wait()
 	}
 	return db.bgErr
@@ -437,7 +567,13 @@ func (db *DB) deleteObsoleteFilesLocked() {
 			if kind == kindTable {
 				db.tables.evict(num)
 			}
-			os.Remove(filepath.Join(db.dir, e.Name()))
+			if os.Remove(filepath.Join(db.dir, e.Name())) == nil && kind == kindTable {
+				db.met.tablesDeleted.Inc()
+				tableNum := num
+				db.queueEventLocked(func(l obs.EventListener) {
+					l.TableDeleted(obs.TableDeletedEvent{Num: tableNum})
+				})
+			}
 		}
 	}
 }

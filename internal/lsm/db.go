@@ -15,6 +15,7 @@ import (
 	"fcae/internal/keys"
 	"fcae/internal/manifest"
 	"fcae/internal/memtable"
+	"fcae/internal/obs"
 	"fcae/internal/wal"
 )
 
@@ -32,6 +33,12 @@ type DB struct {
 	vs         *manifest.VersionSet
 	blockCache *cache.Cache
 	tables     *tableCache
+	listener   obs.EventListener // nil when no listener is configured
+	reg        *obs.Registry
+	met        dbMetrics
+	// evMu serializes event delivery to the listener. Lock order is
+	// strictly evMu -> mu (flushEvents); it is never acquired with mu held.
+	evMu sync.Mutex
 
 	mu        sync.Mutex
 	mem       *memtable.MemTable
@@ -56,6 +63,10 @@ type DB struct {
 	// compaction so the obsolete-file sweep does not reap them before
 	// their version edit lands.
 	pendingOutputs map[uint64]bool
+	// pendingEvents are delivery closures queued under mu, drained by
+	// flushEvents outside it (see events.go).
+	pendingEvents []func(obs.EventListener)
+	jobSeq        uint64 // flush/compaction job id allocator
 
 	stats Stats
 }
@@ -97,8 +108,12 @@ func walCRC(t byte, payload []byte) uint32 {
 	return crc.Extend(crc.Value([]byte{t}), payload)
 }
 
-// Open opens (creating if necessary) the database in dir.
+// Open opens (creating if necessary) the database in dir. Contradictory
+// options are rejected with a descriptive error (see Options.Validate).
 func Open(dir string, opts Options) (*DB, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -108,18 +123,23 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	bc := cache.New(opts.BlockCacheBytes)
+	reg := obs.NewRegistry()
 	db := &DB{
 		dir:            dir,
 		opts:           opts,
 		vs:             vs,
 		blockCache:     bc,
 		tables:         newTableCache(dir, opts.tableOpts(), bc, 500),
+		listener:       opts.EventListener,
+		reg:            reg,
+		met:            newDBMetrics(reg),
 		snapshots:      make(map[uint64]int),
 		seq:            vs.LastSeq(),
 		memSeed:        opts.SkiplistSeed,
 		manualLevel:    -1,
 		pendingOutputs: make(map[uint64]bool),
 	}
+	db.registerGauges()
 	db.bgCond = sync.NewCond(&db.mu)
 	db.writeCond = sync.NewCond(&db.mu)
 
@@ -140,7 +160,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	// Flush recovered entries so the replayed logs can be dropped.
 	if !db.mem.Empty() {
-		if err := db.flushMem(db.mem); err != nil {
+		if err := db.flushMem(db.mem, db.nextJobIDLocked()); err != nil {
 			db.mu.Unlock()
 			_ = vs.Close()
 			return nil, err
@@ -149,6 +169,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.deleteObsoleteFilesLocked()
 	db.mu.Unlock()
+	db.flushEvents() // recovery flush + obsolete-file events
 
 	go db.flushWorker()
 	go db.compactWorker()
@@ -264,6 +285,13 @@ const (
 // front writer becomes the group leader, appends one combined WAL record
 // (and syncs once, if configured) on behalf of everyone queued behind it.
 func (db *DB) Write(b *Batch) error {
+	err := db.write(b)
+	// Deliver anything this write queued (stall begin/end) outside db.mu.
+	db.flushEvents()
+	return err
+}
+
+func (db *DB) write(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
@@ -335,6 +363,10 @@ func (db *DB) Write(b *Batch) error {
 		db.stats.BytesWritten += int64(len(rep))
 		db.stats.GroupCommits++
 		db.stats.GroupedWrites += int64(len(group))
+		db.met.writes.Add(int64(total))
+		db.met.writeBytes.Add(int64(len(rep)))
+		db.met.groupCommits.Inc()
+		db.met.groupedWrites.Add(int64(len(group)))
 	}
 	db.popWritersLocked(len(group))
 	for _, g := range group {
@@ -378,19 +410,21 @@ func (db *DB) makeRoomForWrite() error {
 		case db.closed:
 			return ErrClosed
 		case !slept && db.vs.Current().NumFiles(0) >= db.opts.L0SlowdownTrigger:
+			db.queueEventLocked(func(l obs.EventListener) {
+				l.WriteStallBegin(obs.WriteStallBeginEvent{Reason: obs.StallL0Slowdown})
+			})
 			db.mu.Unlock()
 			time.Sleep(time.Millisecond)
 			db.mu.Lock()
-			db.stats.StallTime += time.Millisecond
-			db.stats.StallWrites++
+			db.recordStallLocked(obs.StallL0Slowdown, time.Millisecond)
 			slept = true
 		case db.mem.ApproximateSize() < db.opts.MemTableBytes:
 			return nil
 		case db.imm != nil:
 			// Previous flush still running: wait.
-			db.waitStalledLocked()
+			db.waitStalledLocked(obs.StallMemTableFull)
 		case db.vs.Current().NumFiles(0) >= db.opts.L0StopTrigger:
-			db.waitStalledLocked()
+			db.waitStalledLocked(obs.StallL0Stop)
 		default:
 			// Switch to a fresh memtable and WAL.
 			if err := db.newWALLocked(); err != nil {
@@ -404,11 +438,30 @@ func (db *DB) makeRoomForWrite() error {
 	}
 }
 
-func (db *DB) waitStalledLocked() {
+// waitStalledLocked blocks the writer on the background condition. The
+// stall events are queued, not delivered, because unlocking here could
+// miss the only wakeup broadcast; the background workers (and this write's
+// own trailing drain) deliver them.
+func (db *DB) waitStalledLocked(reason obs.StallReason) {
+	db.queueEventLocked(func(l obs.EventListener) {
+		l.WriteStallBegin(obs.WriteStallBeginEvent{Reason: reason})
+	})
 	start := time.Now()
 	db.bgCond.Wait()
-	db.stats.StallTime += time.Since(start)
+	db.recordStallLocked(reason, time.Since(start))
+}
+
+// recordStallLocked folds one stall into stats, metrics and the event
+// queue. Callers hold db.mu.
+func (db *DB) recordStallLocked(reason obs.StallReason, d time.Duration) {
+	db.stats.StallTime += d
 	db.stats.StallWrites++
+	db.met.stallCount.Inc()
+	db.met.stallNanos.Add(d.Nanoseconds())
+	db.met.stallWait.ObserveDuration(d)
+	db.queueEventLocked(func(l obs.EventListener) {
+		l.WriteStallEnd(obs.WriteStallEndEvent{Reason: reason, Duration: d})
+	})
 }
 
 // Get returns the value for key, or ErrNotFound.
@@ -566,6 +619,9 @@ func (db *DB) Close() error {
 		db.walFile = nil
 	}
 	db.mu.Unlock()
+	// The workers have exited (busy flags clear); drain any events they
+	// queued on the way out so Close guarantees full delivery.
+	db.flushEvents()
 	db.tables.close()
 	if e := db.vs.Close(); e != nil && err == nil {
 		err = e

@@ -7,8 +7,11 @@
 package lsm
 
 import (
+	"fmt"
+
 	"fcae/internal/compaction"
 	"fcae/internal/manifest"
+	"fcae/internal/obs"
 	"fcae/internal/sstable"
 )
 
@@ -61,6 +64,60 @@ type Options struct {
 	SyncWrites bool
 	// SkiplistSeed fixes memtable randomness for reproducible tests.
 	SkiplistSeed int64
+	// EventListener, when non-nil, receives store lifecycle events (see
+	// package obs for the delivery contract: sequenced under the store
+	// mutex, delivered strictly outside it).
+	EventListener obs.EventListener
+}
+
+// Validate rejects contradictory or nonsensical settings with a
+// descriptive error. Open calls it before applying defaults, so a zero
+// Options value always validates; only explicit misconfiguration fails.
+func (o Options) Validate() error {
+	neg := func(name string, v int64) error {
+		return fmt.Errorf("lsm: invalid Options: %s is negative (%d)", name, v)
+	}
+	switch {
+	case o.MemTableBytes < 0:
+		return neg("MemTableBytes", o.MemTableBytes)
+	case o.BlockSize < 0:
+		return neg("BlockSize", int64(o.BlockSize))
+	case o.RestartInterval < 0:
+		return neg("RestartInterval", int64(o.RestartInterval))
+	case o.FilterBitsPerKey < 0:
+		return neg("FilterBitsPerKey", int64(o.FilterBitsPerKey))
+	case o.BlockCacheBytes < 0:
+		return neg("BlockCacheBytes", o.BlockCacheBytes)
+	case o.LevelRatio < 0:
+		return neg("LevelRatio", int64(o.LevelRatio))
+	case o.L0CompactionTrigger < 0:
+		return neg("L0CompactionTrigger", int64(o.L0CompactionTrigger))
+	case o.L0SlowdownTrigger < 0:
+		return neg("L0SlowdownTrigger", int64(o.L0SlowdownTrigger))
+	case o.L0StopTrigger < 0:
+		return neg("L0StopTrigger", int64(o.L0StopTrigger))
+	case o.TieredRuns < 0:
+		return neg("TieredRuns", int64(o.TieredRuns))
+	}
+	if o.DisableCompression && o.Compression == sstable.SnappyCompression {
+		return fmt.Errorf("lsm: invalid Options: DisableCompression set but Compression requests snappy")
+	}
+	if o.DisableFilter && o.FilterBitsPerKey > 0 {
+		return fmt.Errorf("lsm: invalid Options: DisableFilter set but FilterBitsPerKey is %d", o.FilterBitsPerKey)
+	}
+	// Contradictions are checked on the resolved values so that setting
+	// only one trigger cannot silently invert the throttle ladder against
+	// a defaulted neighbor.
+	r := o.withDefaults()
+	if r.L0SlowdownTrigger > r.L0StopTrigger {
+		return fmt.Errorf("lsm: invalid Options: L0SlowdownTrigger (%d) exceeds L0StopTrigger (%d); writes would stop before they slow down",
+			r.L0SlowdownTrigger, r.L0StopTrigger)
+	}
+	if r.L0CompactionTrigger > r.L0StopTrigger {
+		return fmt.Errorf("lsm: invalid Options: L0CompactionTrigger (%d) exceeds L0StopTrigger (%d); writes would stop before a compaction is ever scheduled",
+			r.L0CompactionTrigger, r.L0StopTrigger)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {

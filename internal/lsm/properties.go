@@ -7,6 +7,7 @@ import (
 
 	"fcae/internal/keys"
 	"fcae/internal/manifest"
+	"fcae/internal/obs"
 )
 
 // PropertyString renders a human-readable summary of the store's shape and
@@ -46,6 +47,15 @@ func (db *DB) PropertyString() string {
 	}
 	fmt.Fprintf(&b, "write stalls: %v across %d waits\n", st.StallTime.Round(time.Millisecond), st.StallWrites)
 	return b.String()
+}
+
+// Metrics snapshots the store's metrics registry: counters and histograms
+// published by the write path, flushes and compactions, plus callback
+// gauges for level shape, cache hit ratios and (when the FCAE executor is
+// configured) engine totals. It complements Stats with typed, named,
+// machine-renderable instruments.
+func (db *DB) Metrics() obs.Metrics {
+	return db.reg.Snapshot()
 }
 
 // WriteAmplification returns bytes written by flush+compaction divided by

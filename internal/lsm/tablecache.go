@@ -18,6 +18,8 @@ type tableCache struct {
 	capacity int
 	entries  map[uint64]*tcEntry
 	lru      *list.List // front = MRU; values are *tcEntry
+	hits     int64
+	misses   int64
 }
 
 type tcEntry struct {
@@ -46,9 +48,11 @@ func (tc *tableCache) get(num uint64) (*sstable.Reader, error) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if e, ok := tc.entries[num]; ok {
+		tc.hits++
 		tc.lru.MoveToFront(e.elem)
 		return e.reader, nil
 	}
+	tc.misses++
 	f, err := os.Open(tablePath(tc.dir, num))
 	if err != nil {
 		return nil, err
@@ -90,6 +94,13 @@ func (tc *tableCache) evictLocked(e *tcEntry) {
 	delete(tc.entries, e.num)
 	// Read-only handle; nothing buffered can be lost.
 	_ = e.f.Close()
+}
+
+// stats returns the lifetime hit and miss counts of the reader LRU.
+func (tc *tableCache) stats() (hits, misses int64) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.hits, tc.misses
 }
 
 // close releases every handle.

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value that can move in both directions.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// histBuckets is the fixed log2 bucket count: bucket 0 holds values <= 0,
+// bucket i (1..64) holds values whose bit length is i, i.e. the range
+// [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates int64 observations into fixed log2 buckets. All
+// methods are safe for concurrent use and allocation-free.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.counts[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// snapshot renders the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		var lo, hi int64
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+			if i < 64 {
+				hi = int64(1) << i
+			} else {
+				hi = math.MaxInt64
+			}
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Low: lo, High: hi, Count: n})
+	}
+	return s
+}
+
+// HistogramBucket is one populated log2 bucket: values in [Low, High).
+type HistogramBucket struct {
+	Low   int64 `json:"low"`
+	High  int64 `json:"high"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) from
+// the bucket boundaries: the High edge of the bucket holding the q-th
+// observation.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			return b.High
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].High
+}
+
+// Registry is a named collection of counters, gauges and histograms. The
+// zero value is not usable; call NewRegistry. A nil *Registry is safe:
+// every getter returns a detached, functional instrument, so library code
+// can publish unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. On a nil registry it returns a detached counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. On a nil registry it returns a detached gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn as a callback gauge evaluated at snapshot time.
+// fn must be safe to call from any goroutine and must not call back into
+// this registry. A nil registry ignores the registration.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. On a nil registry it returns a detached histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return new(Histogram)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument into a typed Metrics value. Gauge
+// callbacks are invoked AFTER the registry lock is released, so a
+// callback may block on component locks without risking deadlock against
+// concurrent publishers.
+func (r *Registry) Snapshot() Metrics {
+	m := Metrics{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return m
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		m.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		m.Gauges[k] = g.Value()
+	}
+	for k, fn := range fns {
+		m.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		m.Histograms[k] = h.snapshot()
+	}
+	return m
+}
+
+// Metrics is a typed point-in-time snapshot of a Registry.
+type Metrics struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// JSON renders the snapshot as indented JSON, the machine-readable form
+// used by `dbbench -metrics` and `ycsb -metrics`.
+func (m Metrics) JSON() ([]byte, error) { return json.MarshalIndent(m, "", "  ") }
+
+// WriteText renders the snapshot as sorted expvar-style "name value"
+// lines. Histograms expand to name.count, name.sum, name.p50, name.p99.
+func (m Metrics) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(m.Counters)+len(m.Gauges)+4*len(m.Histograms))
+	for k, v := range m.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range m.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %g", k, v))
+	}
+	for k, h := range m.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s.count %d", k, h.Count),
+			fmt.Sprintf("%s.sum %d", k, h.Sum),
+			fmt.Sprintf("%s.p50 %d", k, h.Quantile(0.5)),
+			fmt.Sprintf("%s.p99 %d", k, h.Quantile(0.99)),
+		)
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

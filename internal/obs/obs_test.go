@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("writes")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("writes") != c {
+		t.Fatal("Counter did not return the same instrument for the same name")
+	}
+	g := r.Gauge("ratio")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+	r.GaugeFunc("files", func() float64 { return 3 })
+
+	m := r.Snapshot()
+	if m.Counters["writes"] != 5 {
+		t.Fatalf("snapshot counter = %d, want 5", m.Counters["writes"])
+	}
+	if m.Gauges["ratio"] != 0.75 || m.Gauges["files"] != 3 {
+		t.Fatalf("snapshot gauges = %v", m.Gauges)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-1, 0, 1, 2, 3, 4, 1 << 40} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	wantSum := int64(-1 + 0 + 1 + 2 + 3 + 4 + (1 << 40))
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	// Buckets: <=0 (two), [1,2) (one), [2,4) (two), [4,8) (one), [2^40,2^41) (one).
+	want := []HistogramBucket{
+		{Low: 0, High: 0, Count: 2},
+		{Low: 1, High: 2, Count: 1},
+		{Low: 2, High: 4, Count: 2},
+		{Low: 4, High: 8, Count: 1},
+		{Low: 1 << 40, High: 1 << 41, Count: 1},
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], want[i])
+		}
+	}
+	if got := s.Quantile(0.5); got != 4 {
+		t.Fatalf("p50 = %d, want 4 (upper bound of the bucket holding obs #4)", got)
+	}
+	if got := s.Quantile(1); got != 1<<41 {
+		t.Fatalf("p100 = %d, want %d", got, int64(1)<<41)
+	}
+	if mean := s.Mean(); mean != float64(wantSum)/7 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(3 * time.Microsecond)
+	s := h.snapshot()
+	if s.Sum != 3000 || s.Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	m := r.Snapshot()
+	if len(m.Counters) != 0 || len(m.Gauges) != 0 || len(m.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", m)
+	}
+}
+
+func TestMetricsEncoders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("writes").Add(2)
+	r.Gauge("ratio").Set(0.5)
+	r.Histogram("lat").Observe(3)
+	m := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"writes 2\n", "ratio 0.5\n", "lat.count 1\n", "lat.sum 3\n", "lat.p50 4\n"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text output missing %q:\n%s", want, text)
+		}
+	}
+	// Output must be sorted.
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("text output not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+
+	raw, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Metrics
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["writes"] != 2 || decoded.Gauges["ratio"] != 0.5 {
+		t.Fatalf("JSON round-trip = %+v", decoded)
+	}
+	if h := decoded.Histograms["lat"]; h.Count != 1 || h.Sum != 3 {
+		t.Fatalf("JSON histogram = %+v", h)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.StartSpan("merge")() // must not panic
+	if nilTrace.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+
+	tr := NewTrace()
+	end := tr.StartSpan("open_runs")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.StartSpan("merge")()
+	_ = tr.StartSpan("dropped") // closure never called: no span recorded
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v, want 2", spans)
+	}
+	if spans[0].Phase != "open_runs" || spans[1].Phase != "merge" {
+		t.Fatalf("phases = %q, %q", spans[0].Phase, spans[1].Phase)
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Fatalf("open_runs dur = %v, want >= 1ms", spans[0].Dur)
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Fatalf("span starts out of order: %v before %v", spans[1].Start, spans[0].Start)
+	}
+}
+
+func TestTraceWriterJSONL(t *testing.T) {
+	tr := NewTrace()
+	tr.StartSpan("merge")()
+
+	ev := CompactionEndEvent{
+		JobID:        7,
+		Level:        1,
+		OutputLevel:  2,
+		Executor:     "fcae",
+		Inputs:       []TableInfo{{Num: 3, Level: 1, Size: 100}, {Num: 4, Level: 2, Size: 200}},
+		Outputs:      []TableInfo{{Num: 5, Level: 2, Size: 250}},
+		PairsIn:      10,
+		PairsOut:     8,
+		PairsDropped: 2,
+		BytesRead:    300,
+		BytesWritten: 250,
+		KernelTime:   2 * time.Microsecond,
+		TransferTime: 3 * time.Microsecond,
+		Wall:         time.Millisecond,
+		Trace:        tr,
+	}
+
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.CompactionEnd(ev)
+	tw.CompactionEnd(CompactionEndEvent{JobID: 8, Err: errors.New("boom")})
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var recs []TraceRecord
+	for sc.Scan() {
+		var rec TraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r0 := recs[0]
+	if r0.Job != 7 || r0.Executor != "fcae" || r0.KernelNanos != 2000 || r0.TransferNanos != 3000 {
+		t.Fatalf("record 0 = %+v", r0)
+	}
+	if len(r0.Inputs) != 2 || r0.Inputs[0] != 3 || len(r0.Outputs) != 1 || r0.Outputs[0] != 5 {
+		t.Fatalf("record 0 tables = %+v / %+v", r0.Inputs, r0.Outputs)
+	}
+	if len(r0.Spans) != 1 || r0.Spans[0].Phase != "merge" {
+		t.Fatalf("record 0 spans = %+v", r0.Spans)
+	}
+	if recs[1].Error != "boom" {
+		t.Fatalf("record 1 error = %q", recs[1].Error)
+	}
+}
+
+type recordingListener struct {
+	NoopListener
+	flushes int
+}
+
+func (l *recordingListener) FlushBegin(FlushBeginEvent) { l.flushes++ }
+
+func TestMultiListener(t *testing.T) {
+	a, b := &recordingListener{}, &recordingListener{}
+	var ml EventListener = MultiListener{a, b}
+	ml.FlushBegin(FlushBeginEvent{JobID: 1})
+	ml.FlushEnd(FlushEndEvent{JobID: 1})
+	if a.flushes != 1 || b.flushes != 1 {
+		t.Fatalf("fan-out = %d, %d, want 1, 1", a.flushes, b.flushes)
+	}
+}
+
+func TestStallReasonString(t *testing.T) {
+	cases := map[StallReason]string{
+		StallL0Slowdown:   "l0-slowdown",
+		StallMemTableFull: "memtable-full",
+		StallL0Stop:       "l0-stop",
+		StallReason(99):   "unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}

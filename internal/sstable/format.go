@@ -33,6 +33,18 @@ const (
 	SnappyCompression Compression = 1
 )
 
+// String names the codec ("none", "snappy").
+func (c Compression) String() string {
+	switch c {
+	case NoCompression:
+		return "none"
+	case SnappyCompression:
+		return "snappy"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(c))
+	}
+}
+
 // ErrCorrupt reports a malformed or checksum-failing table region.
 var ErrCorrupt = errors.New("sstable: corrupt table")
 

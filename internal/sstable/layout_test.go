@@ -1,0 +1,62 @@
+package sstable
+
+import "testing"
+
+func TestLayout(t *testing.T) {
+	for _, comp := range []Compression{NoCompression, SnappyCompression} {
+		entries := seqEntries(500, 100)
+		f, stats := buildTable(t, Options{Compression: comp, RestartInterval: 8}, entries)
+		r, err := NewReader(f, int64(len(f)), Options{}, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := r.Layout()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(l.Blocks) != stats.DataBlocks {
+			t.Fatalf("%v: layout has %d blocks, writer reported %d", comp, len(l.Blocks), stats.DataBlocks)
+		}
+		if l.Entries != len(entries) {
+			t.Fatalf("%v: layout counted %d entries, want %d", comp, l.Entries, len(entries))
+		}
+		var payload, content int64
+		var restarts, total int
+		for i, b := range l.Blocks {
+			if b.Restarts < 1 {
+				t.Fatalf("%v: block %d has %d restarts", comp, i, b.Restarts)
+			}
+			// Restart interval 8: every block needs a restart per 8 entries.
+			if want := (b.Entries + 7) / 8; b.Restarts != want {
+				t.Fatalf("%v: block %d: %d entries but %d restarts, want %d",
+					comp, i, b.Entries, b.Restarts, want)
+			}
+			if b.ContentLen < b.PayloadLen && comp == NoCompression {
+				t.Fatalf("block %d: decoded %d < stored %d without compression", i, b.ContentLen, b.PayloadLen)
+			}
+			payload += int64(b.PayloadLen)
+			content += int64(b.ContentLen)
+			restarts += b.Restarts
+			total += b.Entries
+		}
+		if payload != l.PayloadBytes || content != l.ContentBytes || restarts != l.Restarts || total != l.Entries {
+			t.Fatalf("%v: layout totals disagree with per-block sums", comp)
+		}
+		if comp == SnappyCompression && l.PayloadBytes >= l.ContentBytes {
+			t.Fatalf("snappy: stored %d bytes not smaller than decoded %d", l.PayloadBytes, l.ContentBytes)
+		}
+	}
+}
+
+func TestCompressionString(t *testing.T) {
+	cases := map[Compression]string{
+		NoCompression:     "none",
+		SnappyCompression: "snappy",
+		Compression(7):    "unknown(7)",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Fatalf("Compression(%d).String() = %q, want %q", uint8(c), got, want)
+		}
+	}
+}
