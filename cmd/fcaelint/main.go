@@ -1,71 +1,195 @@
 // Command fcaelint runs the repo's static-analysis suite (internal/lint)
-// over the module and prints file:line:col diagnostics. It exits non-zero
-// when any analyzer reports a finding, so the verify line can gate on it:
+// over the module and prints file:line:col diagnostics. It exits 1 when
+// any analyzer reports a finding and 2 when the module fails to load (or
+// on bad usage), so the verify line can gate on it:
 //
 //	go run ./cmd/fcaelint ./...
 //
 // The only accepted package pattern is ./... (or none, which means the
 // same): the suite always loads and cross-checks the whole module.
+//
+// Flags:
+//
+//	-json               emit findings as a JSON array of
+//	                    {file, line, col, analyzer, message} objects
+//	-baseline FILE      suppress findings listed in FILE (see below)
+//	-write-baseline FILE  write the current findings to FILE and exit 0
+//	-C DIR              analyze the module containing DIR instead of cwd
+//	-list               list the analyzers and exit
+//
+// A baseline file holds one "file: analyzer: message" line per accepted
+// finding — deliberately line-number-free so entries survive unrelated
+// edits. Use -write-baseline once to adopt a legacy tree, then burn the
+// file down finding by finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fcae/internal/lint"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fcaelint [-list] [./...]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire schema, one object per finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fcaelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	baselinePath := fs.String("baseline", "", "suppress findings listed in this file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this file and exit 0")
+	dir := fs.String("C", "", "analyze the module containing this directory (default: cwd)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: fcaelint [-list] [-json] [-baseline file] [-write-baseline file] [-C dir] [./...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
-			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-15s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg != "./..." && arg != "..." {
-			fmt.Fprintf(os.Stderr, "fcaelint: unsupported pattern %q (the suite always checks the whole module)\n", arg)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "fcaelint: unsupported pattern %q (the suite always checks the whole module)\n", arg)
+			return 2
 		}
 	}
 
-	wd, err := os.Getwd()
-	if err != nil {
-		fatal(err)
+	start := *dir
+	if start == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "fcaelint:", err)
+			return 2
+		}
+		start = wd
 	}
-	root, err := lint.FindModuleRoot(wd)
+	root, err := lint.FindModuleRoot(start)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "fcaelint:", err)
+		return 2
 	}
 	pkgs, err := lint.LoadModule(root)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "fcaelint:", err)
+		return 2
 	}
 	diags := lint.Check(pkgs, lint.Analyzers())
-	for _, d := range diags {
-		line := d.String()
-		// Print paths relative to the module root for stable output.
-		line = strings.TrimPrefix(line, root+string(os.PathSeparator))
-		fmt.Println(line)
+
+	rel := func(filename string) string {
+		if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filename
+	}
+
+	if *writeBaseline != "" {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(baselineKey(rel(d.Pos.Filename), d.Analyzer, d.Message))
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(*writeBaseline, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintln(stderr, "fcaelint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "fcaelint: wrote %d baseline entrie(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		accepted, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fcaelint:", err)
+			return 2
+		}
+		kept := diags[:0]
+		suppressed := 0
+		for _, d := range diags {
+			if accepted[baselineKey(rel(d.Pos.Filename), d.Analyzer, d.Message)] {
+				suppressed++
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
+		if suppressed > 0 {
+			fmt.Fprintf(stderr, "fcaelint: %d finding(s) suppressed by baseline\n", suppressed)
+		}
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     rel(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "fcaelint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "fcaelint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "fcaelint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fcaelint:", err)
-	os.Exit(2)
+// baselineKey is the line-number-free identity of a finding.
+func baselineKey(relFile, analyzer, message string) string {
+	return relFile + ": " + analyzer + ": " + message
+}
+
+// loadBaseline reads accepted-finding keys, one per line; blank lines and
+// #-comments are skipped.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	accepted := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		accepted[line] = true
+	}
+	return accepted, nil
 }

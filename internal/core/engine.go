@@ -310,7 +310,11 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 			}
 			l.tableIdx++
 			t := l.img.Tables[l.tableIdx]
-			l.index = indexStream{buf: l.img.IndexMem[t.IndexOff : t.IndexOff+t.IndexLen]}
+			idx, err := l.img.IndexSlice(t)
+			if err != nil {
+				return err
+			}
+			l.index = indexStream{buf: idx}
 			l.blocks = t.NumBlocks
 			if l.blocks == 0 {
 				continue
@@ -321,10 +325,10 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 			return err
 		}
 		l.blocks--
-		if entry.Size < 1 || entry.Offset+entry.Size > uint64(len(l.img.DataMem)) {
-			return fmt.Errorf("%w: data block out of range", ErrLayout)
+		raw, err := l.img.BlockSlice(entry)
+		if err != nil {
+			return err
 		}
-		raw := l.img.DataMem[entry.Offset : entry.Offset+entry.Size]
 		ctype, payload := raw[0], raw[1:]
 		var contents []byte
 		switch sstable.Compression(ctype) {

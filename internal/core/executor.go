@@ -100,7 +100,7 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	res := &compaction.Result{}
 	var returnBytes int64
 	for i, img := range er.Outputs {
-		returnBytes += img.DataBytes(x.engine.cfg.WOut) + img.IndexBytes() + int64(len(metaOut[i].Smallest)+len(metaOut[i].Largest)+12)
+		returnBytes += img.DataBytes(x.engine.cfg.WOut) + img.IndexBytes() + int64(len(metaOut[i].Smallest)+len(metaOut[i].Largest)+metaOutEntryFixedLen)
 		done := job.Trace.StartSpan("flush_table")
 		ot, err := assembleTable(img, env, job.TableOpts)
 		done()

@@ -48,6 +48,31 @@ func (im *InputImage) Bytes() int64 {
 	return int64(len(im.IndexMem)) + int64(len(im.DataMem)) + int64(16+24*len(im.Tables))
 }
 
+// IndexSlice returns the index-stream region of IndexMem described by t,
+// bounds-checked. All extent arithmetic on TableDesc lives here so
+// callers cannot construct an out-of-range view of Index Block Memory.
+func (im *InputImage) IndexSlice(t TableDesc) ([]byte, error) {
+	end := t.IndexOff + t.IndexLen
+	if end < t.IndexOff || end > uint64(len(im.IndexMem)) {
+		return nil, fmt.Errorf("%w: index stream out of range", ErrLayout)
+	}
+	return im.IndexMem[t.IndexOff:end], nil
+}
+
+// BlockSlice returns the data-block region of DataMem described by e,
+// bounds-checked. Size includes the leading compression-type byte, so a
+// valid block is never empty.
+func (im *InputImage) BlockSlice(e IndexEntry) ([]byte, error) {
+	if e.Size < 1 {
+		return nil, fmt.Errorf("%w: empty data block", ErrLayout)
+	}
+	end := e.Offset + e.Size
+	if end < e.Offset || end > uint64(len(im.DataMem)) {
+		return nil, fmt.Errorf("%w: data block out of range", ErrLayout)
+	}
+	return im.DataMem[e.Offset:end], nil
+}
+
 // InputBuilder assembles an InputImage table by table.
 type InputBuilder struct {
 	img   InputImage
@@ -141,7 +166,11 @@ func (im *InputImage) DecodeIndex(table int) ([]IndexEntry, error) {
 		return nil, fmt.Errorf("%w: table %d out of range", ErrLayout, table)
 	}
 	t := im.Tables[table]
-	s := indexStream{buf: im.IndexMem[t.IndexOff : t.IndexOff+t.IndexLen]}
+	idx, err := im.IndexSlice(t)
+	if err != nil {
+		return nil, err
+	}
+	s := indexStream{buf: idx}
 	var out []IndexEntry
 	for !s.empty() {
 		e, err := s.next()

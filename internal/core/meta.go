@@ -14,12 +14,22 @@ import (
 // needed." The executor round-trips both across the simulated DMA
 // boundary so the layouts are genuinely exercised.
 
+// The wire widths of both meta blocks, validated by the devmem analyzer
+// against the paper's layout. Spelled as field sums so a layout change
+// is a one-line edit here and a deliberate analyzer update.
+const (
+	metaInHeaderLen      = 4         // u32 numSSTables
+	metaInEntryLen       = 8 + 8 + 4 // u64 indexOff + u64 indexLen + u32 numBlocks
+	metaOutHeaderLen     = 4         // u32 numSSTables
+	metaOutEntryFixedLen = 4 + 8     // u32 entries + u64 dataBytes (keys are length-prefixed)
+)
+
 // EncodeMetaIn serializes an input image's meta block:
 //
 //	u32 numSSTables
 //	per table: u64 indexOff, u64 indexLen, u32 numBlocks
 func EncodeMetaIn(img *InputImage) []byte {
-	buf := make([]byte, 0, 4+20*len(img.Tables))
+	buf := make([]byte, 0, metaInHeaderLen+metaInEntryLen*len(img.Tables))
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(img.Tables)))
 	buf = append(buf, tmp[:4]...)
@@ -36,12 +46,12 @@ func EncodeMetaIn(img *InputImage) []byte {
 
 // DecodeMetaIn parses a MetaIn block into table descriptors.
 func DecodeMetaIn(buf []byte) ([]TableDesc, error) {
-	if len(buf) < 4 {
+	if len(buf) < metaInHeaderLen {
 		return nil, fmt.Errorf("%w: MetaIn too short", ErrLayout)
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
-	buf = buf[4:]
-	if len(buf) != 20*n {
+	buf = buf[metaInHeaderLen:]
+	if len(buf) != metaInEntryLen*n {
 		return nil, fmt.Errorf("%w: MetaIn is %d bytes for %d tables", ErrLayout, len(buf), n)
 	}
 	out := make([]TableDesc, n)
@@ -49,7 +59,7 @@ func DecodeMetaIn(buf []byte) ([]TableDesc, error) {
 		out[i].IndexOff = binary.LittleEndian.Uint64(buf)
 		out[i].IndexLen = binary.LittleEndian.Uint64(buf[8:])
 		out[i].NumBlocks = int(binary.LittleEndian.Uint32(buf[16:]))
-		buf = buf[20:]
+		buf = buf[metaInEntryLen:]
 	}
 	return out, nil
 }
@@ -90,11 +100,11 @@ type MetaOutEntry struct {
 
 // DecodeMetaOut parses a MetaOut block.
 func DecodeMetaOut(buf []byte) ([]MetaOutEntry, error) {
-	if len(buf) < 4 {
+	if len(buf) < metaOutHeaderLen {
 		return nil, fmt.Errorf("%w: MetaOut too short", ErrLayout)
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
-	buf = buf[4:]
+	buf = buf[metaOutHeaderLen:]
 	readBytes := func() ([]byte, error) {
 		if len(buf) < 4 {
 			return nil, fmt.Errorf("%w: MetaOut truncated", ErrLayout)
@@ -110,12 +120,12 @@ func DecodeMetaOut(buf []byte) ([]MetaOutEntry, error) {
 	}
 	out := make([]MetaOutEntry, n)
 	for i := range out {
-		if len(buf) < 12 {
+		if len(buf) < metaOutEntryFixedLen {
 			return nil, fmt.Errorf("%w: MetaOut entry truncated", ErrLayout)
 		}
 		out[i].Entries = int(binary.LittleEndian.Uint32(buf))
 		out[i].DataBytes = int64(binary.LittleEndian.Uint64(buf[4:]))
-		buf = buf[12:]
+		buf = buf[metaOutEntryFixedLen:]
 		var err error
 		if out[i].Smallest, err = readBytes(); err != nil {
 			return nil, err

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The facts layer is what turns the suite from per-file syntax checks into
+// whole-program analyses: a Module indexes every declared function of the
+// loaded module, resolves static call targets, and lets analyzers build
+// per-function summaries that compose across package boundaries (lockorder
+// composes held-lock sets through calls; taint composes unchecked-bound
+// parameter sinks). Dynamic dispatch — interface method calls, calls
+// through stored function values — is intentionally unresolved: a summary
+// only ever understates what a callee does, so the composed analyses stay
+// false-positive-free at the cost of missing dynamic paths.
+
+// FuncInfo pairs a declared function with its body and owning package.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// Name returns a diagnostic-friendly name: "pkg.Func" or "pkg.Type.Method".
+func (fi *FuncInfo) Name() string {
+	obj := fi.Obj
+	name := obj.Name()
+	if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+		if n := namedOf(recv.Type()); n != nil {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	if obj.Pkg() != nil {
+		name = obj.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// Module is the shared facts framework: every type-checked package of the
+// module plus a function index used to resolve static calls.
+type Module struct {
+	Pkgs []*Package
+	Fset *token.FileSet
+
+	funcs map[*types.Func]*FuncInfo
+	order []*FuncInfo // deterministic iteration order (by position)
+}
+
+// BuildModule indexes the module's declared functions. Packages must come
+// from one LoadModule call so type objects are shared.
+func BuildModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, funcs: make(map[*types.Func]*FuncInfo)}
+	if len(pkgs) > 0 {
+		m.Fset = pkgs[0].Fset
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				m.funcs[obj] = fi
+				m.order = append(m.order, fi)
+			}
+		}
+	}
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i].Decl.Pos() < m.order[j].Decl.Pos() })
+	return m
+}
+
+// Funcs returns every declared function with a body, in file order.
+func (m *Module) Funcs() []*FuncInfo { return m.order }
+
+// FuncInfo returns the declaration facts for fn, or nil when fn is not a
+// module function with a body (stdlib, interface method, external).
+func (m *Module) FuncInfo(fn *types.Func) *FuncInfo { return m.funcs[fn] }
+
+// StaticCallee resolves call to a module function when the call is direct:
+// a plain function call, a package-qualified call, or a method call on a
+// concrete receiver type. Interface dispatch and calls through function
+// values return nil.
+func (m *Module) StaticCallee(info *types.Info, call *ast.CallExpr) *FuncInfo {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified function
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	fi := m.funcs[fn]
+	if fi == nil {
+		return nil // not in module, or interface method without a body
+	}
+	// Interface methods share the declared *types.Func only on the
+	// interface side; a Selection through an interface yields an object
+	// with no body and is already filtered above.
+	return fi
+}
+
+// ModulePass carries the whole module through one module-level analyzer.
+type ModulePass struct {
+	Module *Module
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding anchored at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// namedOf unwraps pointers to the defined type beneath t, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// nestedFuncLits returns every function literal anywhere inside body,
+// including literals nested in other literals.
+func nestedFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}

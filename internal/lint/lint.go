@@ -20,6 +20,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding, printed as file:line:col: analyzer: message.
@@ -53,34 +54,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Exactly one of Run and RunModule is set:
+// Run sees one type-checked package at a time; RunModule sees the whole
+// module at once through the facts framework (call graph, function
+// summaries) and is how the cross-package analyzers work.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Analyzers returns the full fcaelint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow}
+	return []*Analyzer{
+		MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow,
+		LockOrder, DevMem, Taint,
+	}
 }
 
 // Check runs the given analyzers over every package and returns the
-// findings sorted by file position.
+// findings sorted by file position. Analyzers run in parallel, each
+// accumulating into its own slice; go/types structures are read-only
+// after loading, so concurrent passes over shared packages are safe.
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				analyzer: a,
-				diags:    &diags,
-			}
-			a.Run(pass)
+	var mod *Module
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			mod = BuildModule(pkgs)
+			break
 		}
+	}
+	results := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			var out []Diagnostic
+			if a.RunModule != nil {
+				a.RunModule(&ModulePass{Module: mod, analyzer: a, diags: &out})
+			} else {
+				for _, pkg := range pkgs {
+					a.Run(&Pass{
+						Fset:     pkg.Fset,
+						Files:    pkg.Files,
+						Pkg:      pkg.Types,
+						Info:     pkg.Info,
+						analyzer: a,
+						diags:    &out,
+					})
+				}
+			}
+			results[i] = out
+		}(i, a)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, out := range results {
+		diags = append(diags, out...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,0 +1,510 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module's lock-acquisition graph and reports
+// ordering violations. An edge A -> B means some path acquires B while A
+// is held; a cycle in the graph (including the two-edge cycle formed when
+// code acquires locks against a documented `//fcae:lock-order A -> B`
+// directive) is a potential deadlock and is reported at each offending
+// acquisition site.
+//
+// The analysis is interprocedural via the facts framework: each function
+// gets a summary of the acquisitions it performs — directly or through
+// the static calls in its body — together with the locks it holds and the
+// caller-held locks it has net-released at that point. Summaries compose
+// through the call graph to a fixpoint, so `db.mu.Lock(); db.flush()`
+// where flush acquires vs.mu yields the edge DB.mu -> VersionSet.mu even
+// though the two acquisitions live in different packages.
+//
+// Lock identity is `pkg.Type.field` for struct-field mutexes (the repo
+// convention: one lock instance class per field) and `pkg.name` for
+// variable mutexes. Held state is tracked lexically in source order, the
+// same approximation obscallback uses: a deferred Unlock does not clear
+// the state, deferred calls are ignored (they run at return), function
+// literals are separate not-held bodies, and a method named *Locked
+// starts with its receiver's mu held. The release set is what keeps the
+// store's unlock-then-relock windows (makeRoomForWrite, flushMem) from
+// reading as recursive acquisition: a callee's net-released locks cancel
+// the caller's held set during composition.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "lock acquisitions must not cycle; //fcae:lock-order A -> B declares " +
+		"the documented order and acquisitions contradicting it are reported",
+	RunModule: runLockOrder,
+}
+
+const lockOrderDirective = "//fcae:lock-order"
+
+// lockAcq is one acquisition fact: key is acquired while held are held,
+// after the enclosing call chain net-released rel (caller locks that are
+// no longer held when this acquisition runs).
+type lockAcq struct {
+	key  string
+	held []string // sorted
+	rel  []string // sorted
+	pos  token.Pos
+	fn   string // function lexically containing the Lock call
+}
+
+// lockCall is a static call made with the given lexical lock context.
+type lockCall struct {
+	callee *FuncInfo
+	held   []string
+	rel    []string
+}
+
+// loBody is one analyzed body: a declared function or a function literal.
+type loBody struct {
+	fi    *FuncInfo // nil for function literals
+	name  string
+	acqs  []lockAcq
+	calls []lockCall
+}
+
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string
+	declared bool
+}
+
+func runLockOrder(pass *ModulePass) {
+	m := pass.Module
+	var decls []*loBody
+	var lits []*loBody
+	for _, fi := range m.Funcs() {
+		b := sweepLockBody(m, fi.Pkg, fi.Decl.Body, lockEntryKey(fi), fi.Name())
+		b.fi = fi
+		decls = append(decls, b)
+		for _, lit := range nestedFuncLits(fi.Decl.Body) {
+			lb := sweepLockBody(m, fi.Pkg, lit.Body, "", "function literal in "+fi.Name())
+			lits = append(lits, lb)
+		}
+	}
+
+	// Fixpoint over declared functions: a summary is the function's own
+	// acquisitions plus the composed summaries of its static callees.
+	// Records deduplicate on (key, held, rel), so the sets grow
+	// monotonically and the iteration terminates.
+	full := make(map[*FuncInfo][]lockAcq, len(decls))
+	for _, b := range decls {
+		full[b.fi] = dedupeAcqs(b.acqs)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range decls {
+			recs := composeLockBody(b, full)
+			if len(recs) != len(full[b.fi]) {
+				full[b.fi] = recs
+				changed = true
+			}
+		}
+	}
+	// Function literals are never static call targets, so one composition
+	// pass over the final summaries suffices.
+	var all [][]lockAcq
+	for _, b := range decls {
+		all = append(all, full[b.fi])
+	}
+	for _, b := range lits {
+		all = append(all, composeLockBody(b, full))
+	}
+
+	// Collapse the acquisition facts into a graph.
+	edges := make(map[[2]string]*loEdge)
+	reportedRec := make(map[token.Pos]bool)
+	for _, recs := range all {
+		for _, r := range recs {
+			for _, h := range r.held {
+				if h == r.key {
+					if !reportedRec[r.pos] {
+						reportedRec[r.pos] = true
+						pass.Reportf(r.pos, "%s acquired in %s while already held (recursive locking deadlocks)", r.key, r.fn)
+					}
+					continue
+				}
+				k := [2]string{h, r.key}
+				if edges[k] == nil {
+					edges[k] = &loEdge{from: h, to: r.key, pos: r.pos, fn: r.fn}
+				}
+			}
+		}
+	}
+	declared := collectLockDirectives(pass)
+	for _, d := range declared {
+		k := [2]string{d.from, d.to}
+		if edges[k] == nil {
+			edges[k] = d
+		}
+	}
+
+	// Any edge inside a non-trivial strongly connected component closes a
+	// cycle. Detected edges are reported at the acquisition site; declared
+	// edges only when the cycle is formed purely by directives.
+	sortedEdges := make([]*loEdge, 0, len(edges))
+	for _, e := range edges {
+		sortedEdges = append(sortedEdges, e)
+	}
+	sort.Slice(sortedEdges, func(i, j int) bool {
+		if sortedEdges[i].from != sortedEdges[j].from {
+			return sortedEdges[i].from < sortedEdges[j].from
+		}
+		return sortedEdges[i].to < sortedEdges[j].to
+	})
+	scc := lockSCC(sortedEdges)
+	inCycle := func(e *loEdge) bool {
+		return scc[e.from] == scc[e.to]
+	}
+	cycleHasDetected := make(map[int]bool)
+	for _, e := range sortedEdges {
+		if inCycle(e) && !e.declared {
+			cycleHasDetected[scc[e.from]] = true
+		}
+	}
+	for _, e := range sortedEdges {
+		if !inCycle(e) {
+			continue
+		}
+		cycle := lockCyclePath(sortedEdges, e, scc)
+		if e.declared {
+			if !cycleHasDetected[scc[e.from]] {
+				pass.Reportf(e.pos, "declared lock-order edge %s -> %s participates in a cycle: %s", e.from, e.to, cycle)
+			}
+			continue
+		}
+		pass.Reportf(e.pos, "lock-order violation: %s acquired in %s while %s is held, completing cycle %s", e.to, e.fn, e.from, cycle)
+	}
+}
+
+// sweepLockBody walks one body lexically and records its own lock
+// transitions and static calls with the lock context at each point.
+func sweepLockBody(m *Module, pkg *Package, body *ast.BlockStmt, entryKey, name string) *loBody {
+	const (
+		loLock = iota
+		loUnlock
+		loCall
+	)
+	type loEvent struct {
+		pos    token.Pos
+		kind   int
+		key    string
+		callee *FuncInfo
+	}
+	var events []loEvent
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own body
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if deferred[n] {
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isSyncMutex(pkg.Info.TypeOf(sel.X)) {
+				key := lockKeyOf(pkg, sel.X)
+				if key == "" {
+					return true
+				}
+				switch {
+				case lockMethods[sel.Sel.Name]:
+					events = append(events, loEvent{pos: n.Pos(), kind: loLock, key: key})
+				case unlockMethods[sel.Sel.Name]:
+					events = append(events, loEvent{pos: n.Pos(), kind: loUnlock, key: key})
+				}
+				return true
+			}
+			if callee := m.StaticCallee(pkg.Info, n); callee != nil {
+				events = append(events, loEvent{pos: n.Pos(), kind: loCall, callee: callee})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	b := &loBody{name: name}
+	held := make(map[string]int)
+	if entryKey != "" {
+		held[entryKey] = 1
+	}
+	positives := func() []string {
+		var out []string
+		for k, c := range held {
+			if c > 0 {
+				out = append(out, k)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	negatives := func() []string {
+		var out []string
+		for k, c := range held {
+			if c < 0 {
+				out = append(out, k)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, e := range events {
+		switch e.kind {
+		case loLock:
+			b.acqs = append(b.acqs, lockAcq{key: e.key, held: positives(), rel: negatives(), pos: e.pos, fn: name})
+			held[e.key]++
+		case loUnlock:
+			held[e.key]--
+		case loCall:
+			b.calls = append(b.calls, lockCall{callee: e.callee, held: positives(), rel: negatives()})
+		}
+	}
+	return b
+}
+
+// composeLockBody merges a body's local acquisitions with its callees'
+// summaries: a callee acquisition of a with held h and release r, reached
+// while the caller holds H having net-released R, becomes an acquisition
+// of a with held (H − r) ∪ h and release R ∪ r. The subtraction is what
+// recognizes "callee unlocks the caller's mutex before relocking it".
+func composeLockBody(b *loBody, full map[*FuncInfo][]lockAcq) []lockAcq {
+	recs := append([]lockAcq(nil), b.acqs...)
+	for _, c := range b.calls {
+		for _, r := range full[c.callee] {
+			heldEff := unionStrings(subtractStrings(c.held, r.rel), r.held)
+			relEff := unionStrings(c.rel, r.rel)
+			recs = append(recs, lockAcq{key: r.key, held: heldEff, rel: relEff, pos: r.pos, fn: r.fn})
+		}
+	}
+	return dedupeAcqs(recs)
+}
+
+func dedupeAcqs(recs []lockAcq) []lockAcq {
+	seen := make(map[string]bool, len(recs))
+	out := recs[:0]
+	for _, r := range recs {
+		k := r.key + "|" + strings.Join(r.held, ",") + "|" + strings.Join(r.rel, ",")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func subtractStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	drop := make(map[string]bool, len(b))
+	for _, s := range b {
+		drop[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !drop[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func unionStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockEntryKey returns the lock held on entry for *Locked methods: the
+// receiver type's mu field, per the mutexguard convention.
+func lockEntryKey(fi *FuncInfo) string {
+	if !strings.HasSuffix(fi.Obj.Name(), "Locked") {
+		return ""
+	}
+	recv := fi.Obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	n := namedOf(recv.Type())
+	if n == nil || n.Obj().Pkg() == nil {
+		return ""
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "mu" && isSyncMutex(f.Type()) {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + ".mu"
+		}
+	}
+	return ""
+}
+
+// lockKeyOf names the lock instance class denoted by the mutex expression
+// e: pkg.Type.field for struct fields, pkg.name for variables. Returns ""
+// when the expression has no stable name (skip the event).
+func lockKeyOf(pkg *Package, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if n := namedOf(pkg.Info.TypeOf(x.X)); n != nil && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Name() + "." + n.Obj().Name() + "." + x.Sel.Name
+		}
+		return pkg.Types.Name() + "." + x.Sel.Name
+	case *ast.Ident:
+		return pkg.Types.Name() + "." + x.Name
+	}
+	return ""
+}
+
+// collectLockDirectives parses //fcae:lock-order A -> B comments.
+func collectLockDirectives(pass *ModulePass) []*loEdge {
+	var out []*loEdge
+	for _, pkg := range pass.Module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, lockOrderDirective) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, lockOrderDirective))
+					parts := strings.Split(rest, "->")
+					if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+						pass.Reportf(c.Pos(), "malformed %s directive: want %q", lockOrderDirective, lockOrderDirective+" pkg.Type.mu -> pkg.Type.mu")
+						continue
+					}
+					out = append(out, &loEdge{
+						from:     strings.TrimSpace(parts[0]),
+						to:       strings.TrimSpace(parts[1]),
+						pos:      c.Pos(),
+						declared: true,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lockSCC computes strongly connected components (Tarjan) and returns a
+// component id per node; nodes in the same non-trivial component are
+// mutually reachable. Trivial single-node components get unique ids, so
+// scc[a] == scc[b] for a != b implies a cycle through both.
+func lockSCC(edges []*loEdge) map[string]int {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, ncomp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return comp
+}
+
+// lockCyclePath renders the cycle an in-SCC edge closes: a shortest path
+// from e.to back to e.from through the component, prefixed with the edge.
+func lockCyclePath(edges []*loEdge, e *loEdge, scc map[string]int) string {
+	adj := make(map[string][]string)
+	for _, x := range edges {
+		if scc[x.from] == scc[e.from] && scc[x.to] == scc[e.from] {
+			adj[x.from] = append(adj[x.from], x.to)
+		}
+	}
+	// BFS from e.to to e.from.
+	prev := map[string]string{e.to: e.to}
+	queue := []string{e.to}
+	for len(queue) > 0 && prev[e.from] == "" {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if _, seen := prev[w]; !seen {
+				prev[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	path := []string{e.from, e.to}
+	if _, ok := prev[e.from]; ok && e.from != e.to {
+		var back []string
+		for v := e.from; v != e.to; v = prev[v] {
+			back = append(back, v)
+		}
+		back = append(back, e.to)
+		// back is e.from .. e.to reversed; rebuild forward from e.to.
+		path = []string{e.from}
+		for i := len(back) - 1; i >= 0; i-- {
+			path = append(path, back[i])
+		}
+	}
+	return strings.Join(path, " -> ")
+}

@@ -1,0 +1,20 @@
+// Fixture: reads without arithmetic and a directive-covered cycle loop
+// are clean.
+package core
+
+func firstByte(im *InputImage, e IndexEntry) byte {
+	return im.DataMem[e.Offset]
+}
+
+func metaEntrySpan(n int) int {
+	return metaInHeaderLen + metaInEntryLen*n
+}
+
+//fcae:cycle-accounting
+func countCycles(cycles int) int {
+	total := 0
+	for i := 0; i < cycles; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,29 @@
+// Fixture: the compliant shape — extent arithmetic confined to
+// memlayout.go, widths as validated constants.
+package core
+
+type IndexEntry struct {
+	Offset uint64
+	Size   uint64
+}
+
+type TableDesc struct {
+	IndexOff uint64
+	IndexLen uint64
+}
+
+type InputImage struct {
+	IndexMem []byte
+	DataMem  []byte
+}
+
+const (
+	metaInHeaderLen      = 4
+	metaInEntryLen       = 8 + 8 + 4
+	metaOutHeaderLen     = 4
+	metaOutEntryFixedLen = 4 + 8
+)
+
+func (im *InputImage) slice(e IndexEntry) []byte {
+	return im.DataMem[e.Offset : e.Offset+e.Size]
+}

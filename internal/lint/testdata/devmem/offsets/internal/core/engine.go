@@ -1,0 +1,26 @@
+// Fixture: every device-memory invariant violated outside memlayout.go.
+package core
+
+func view(im *InputImage, t TableDesc) []byte {
+	return im.IndexMem[t.IndexOff : t.IndexOff+t.IndexLen]
+}
+
+func grow(im *InputImage, b []byte) {
+	im.DataMem = b
+}
+
+func decodeMetaHeader(buf []byte) int {
+	n := 0
+	if len(buf) >= 20 {
+		n = 12
+	}
+	return n
+}
+
+func busyWait(cycles int) int {
+	total := 0
+	for i := 0; i < cycles; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Fixture: consistent ordering plus the store's unlock-then-relock
+// window. write holds DB.mu across makeRoom, which releases and
+// reacquires it — release tracking must not read the relock as a
+// recursive acquisition. applyLocked inherits DB.mu from its *Locked
+// name and takes VS.mu under it, the same direction other() uses.
+package locks
+
+import "sync"
+
+type DB struct {
+	mu sync.Mutex
+	n  int
+}
+
+type VS struct{ mu sync.Mutex }
+
+var vs VS
+
+func (db *DB) write() {
+	db.mu.Lock()
+	db.makeRoom()
+	db.applyLocked()
+	db.n++
+	db.mu.Unlock()
+}
+
+func (db *DB) makeRoom() {
+	db.mu.Unlock()
+	db.mu.Lock()
+}
+
+func (db *DB) applyLocked() {
+	vs.mu.Lock()
+	vs.mu.Unlock()
+}
+
+func other(db *DB) {
+	db.mu.Lock()
+	vs.mu.Lock()
+	vs.mu.Unlock()
+	db.mu.Unlock()
+}

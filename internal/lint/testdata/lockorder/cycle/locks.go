@@ -1,0 +1,31 @@
+// Fixture: a cross-function lock-order cycle. lockBUnderA acquires B.mu
+// through a helper call while holding A.mu; lockAUnderB acquires them in
+// the opposite order directly. Both closing edges must be reported.
+package locks
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+func lockBUnderA() {
+	a.mu.Lock()
+	viaHelper()
+	a.mu.Unlock()
+}
+
+func viaHelper() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func lockAUnderB() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Fixture: an acquisition contradicting a documented //fcae:lock-order
+// directive. The declared order is Ev.mu before Store.mu; bad() takes
+// Ev.mu while holding Store.mu, closing a two-edge cycle with the
+// directive alone — no second code path is needed. The report lands on
+// the acquisition, not the directive.
+package locks
+
+import "sync"
+
+//fcae:lock-order locks.Ev.mu -> locks.Store.mu
+
+type Ev struct{ mu sync.Mutex }
+
+type Store struct{ mu sync.Mutex }
+
+var ev Ev
+var st Store
+
+func bad() {
+	st.mu.Lock()
+	ev.mu.Lock()
+	ev.mu.Unlock()
+	st.mu.Unlock()
+}

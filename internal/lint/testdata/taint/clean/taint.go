@@ -1,0 +1,28 @@
+// Fixture: the same flows with validation — comparisons clear the taint,
+// and a helper that checks its parameter is not a sink.
+package taintcase
+
+import "encoding/binary"
+
+func checked(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n < 0 || n > len(b)-4 {
+		return nil
+	}
+	return b[4 : 4+n]
+}
+
+func checkedHop(b []byte) byte {
+	v, _ := binary.Uvarint(b)
+	if v >= uint64(len(b)) {
+		return 0
+	}
+	return pickChecked(b, int(v))
+}
+
+func pickChecked(b []byte, n int) byte {
+	if n < 0 || n >= len(b) {
+		return 0
+	}
+	return b[n]
+}

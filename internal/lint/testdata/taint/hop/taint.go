@@ -1,0 +1,19 @@
+// Fixture: untrusted decoded lengths reaching bounds unchecked — once
+// directly, once through a helper-function hop (pick uses its parameter
+// as an unchecked index, so passing a tainted value to it is reported at
+// the call site).
+package taintcase
+
+import "encoding/binary"
+
+func pick(b []byte, n int) byte { return b[n] }
+
+func hop(b []byte) byte {
+	v, _ := binary.Uvarint(b)
+	return pick(b, int(v))
+}
+
+func direct(b []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(b))
+	return b[:n]
+}

@@ -9,43 +9,96 @@ import (
 // Flush or Sync method call. On the WAL, SSTable-writer and manifest
 // paths those errors are the durability signal — a swallowed Close error
 // after buffered writes is silent data loss. The check covers plain
-// expression statements; `defer f.Close()` on read-only paths stays
-// idiomatic and is not reported, and a deliberate discard must be spelled
+// expression statements, and `defer f.Close()` inside a function that
+// itself returns an error: such a function has somewhere to put the
+// error, so the discard must be acknowledged with the
+// `defer func() { _ = f.Close() }()` pattern (or the error joined into
+// the named result). In functions with no error result a bare deferred
+// Close stays idiomatic, and a deliberate discard is spelled
 // `_ = f.Close()` so the acknowledgment is visible in review.
 var UncheckedClose = &Analyzer{
 	Name: "uncheckedclose",
-	Doc:  "Close/Flush/Sync errors must be handled or explicitly discarded with _ =",
-	Run:  runUncheckedClose,
+	Doc: "Close/Flush/Sync errors must be handled or explicitly discarded with _ =, " +
+		"including defer f.Close() in error-returning functions",
+	Run: runUncheckedClose,
 }
 
 var closeKin = map[string]bool{"Close": true, "Flush": true, "Sync": true}
 
 func runUncheckedClose(pass *Pass) {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+		// Function bodies are walked explicitly so deferred Closes can be
+		// judged against the enclosing function's result list. A nested
+		// function literal re-scopes the rule: its own signature decides.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !closeKin[sel.Sel.Name] || len(call.Args) != 0 {
-				return true
-			}
-			// Only method calls whose sole result is an error.
-			if pass.Info.Selections[sel] == nil {
-				return true // package function or conversion, not a method
-			}
-			if !isErrorType(pass.Info.TypeOf(call)) {
-				return true
-			}
-			recv := types.ExprString(sel.X)
-			pass.Reportf(stmt.Pos(), "%s.%s() error is silently dropped (handle it or write `_ = %s.%s()`)",
-				recv, sel.Sel.Name, recv, sel.Sel.Name)
-			return true
-		})
+			checkCloseBody(pass, fd.Body, funcReturnsError(pass, fd.Type))
+		}
 	}
+}
+
+func checkCloseBody(pass *Pass, body *ast.BlockStmt, returnsError bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCloseBody(pass, n.Body, funcReturnsError(pass, n.Type))
+			return false
+		case *ast.DeferStmt:
+			if !returnsError {
+				return true
+			}
+			if sel := closeKinCall(pass, n.Call); sel != nil {
+				recv := types.ExprString(sel.X)
+				pass.Reportf(n.Pos(),
+					"defer %s.%s() discards the error in an error-returning function (capture it in the result or write `defer func() { _ = %s.%s() }()`)",
+					recv, sel.Sel.Name, recv, sel.Sel.Name)
+			}
+			return true
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel := closeKinCall(pass, call); sel != nil {
+				recv := types.ExprString(sel.X)
+				pass.Reportf(n.Pos(), "%s.%s() error is silently dropped (handle it or write `_ = %s.%s()`)",
+					recv, sel.Sel.Name, recv, sel.Sel.Name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// closeKinCall returns the selector of a no-arg Close/Flush/Sync method
+// call whose sole result is an error, or nil.
+func closeKinCall(pass *Pass, call *ast.CallExpr) *ast.SelectorExpr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !closeKin[sel.Sel.Name] || len(call.Args) != 0 {
+		return nil
+	}
+	if pass.Info.Selections[sel] == nil {
+		return nil // package function or conversion, not a method
+	}
+	if !isErrorType(pass.Info.TypeOf(call)) {
+		return nil
+	}
+	return sel
+}
+
+// funcReturnsError reports whether the function type has an error among
+// its results.
+func funcReturnsError(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, r := range ft.Results.List {
+		if isErrorType(pass.Info.TypeOf(r.Type)) {
+			return true
+		}
+	}
+	return false
 }

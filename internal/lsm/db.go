@@ -38,6 +38,8 @@ type DB struct {
 	met        dbMetrics
 	// evMu serializes event delivery to the listener. Lock order is
 	// strictly evMu -> mu (flushEvents); it is never acquired with mu held.
+	//
+	//fcae:lock-order lsm.DB.evMu -> lsm.DB.mu
 	evMu sync.Mutex
 
 	mu        sync.Mutex
@@ -208,7 +210,7 @@ func (db *DB) replayWALLocked(num uint64) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	r := wal.NewReader(f, walCRC)
 	for {
 		rec, err := r.Next()

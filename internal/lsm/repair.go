@@ -24,7 +24,7 @@ import (
 // versions of the same user key, an overwrite performed shortly before a
 // compaction of much older data can surface the older version. Sequence
 // numbers inside each table are preserved exactly.
-func Repair(dir string, opts Options) error {
+func Repair(dir string, opts Options) (err error) {
 	opts = opts.withDefaults()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -74,7 +74,13 @@ func Repair(dir string, opts Options) error {
 	if err != nil {
 		return err
 	}
-	defer vs.Close()
+	defer func() {
+		// The rebuilt manifest must land on disk: a Close failure after
+		// LogAndApply is a durability signal, not cleanup noise.
+		if cerr := vs.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("lsm: repair: close manifest: %w", cerr)
+		}
+	}()
 
 	edit := &manifest.VersionEdit{}
 	var lastSeq uint64
@@ -113,7 +119,7 @@ func scanTable(dir string, num uint64, opts Options) (*scannedTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

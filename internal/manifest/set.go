@@ -129,7 +129,7 @@ func (vs *VersionSet) replayLocked(name string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	vs.replayedManifest = name
 	r := wal.NewReader(f, manifestCRC)
 	v := &Version{}

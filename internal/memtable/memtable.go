@@ -37,14 +37,23 @@ func compareEntries(a, b []byte) int {
 
 func decodeKey(entry []byte) []byte {
 	n, w := binary.Uvarint(entry)
+	if w <= 0 || n > uint64(len(entry)-w) {
+		return nil // corrupt self-encoded entry; compare as empty key
+	}
 	return entry[w : w+int(n)]
 }
 
 func decodeKV(entry []byte) (ikey, value []byte) {
 	n, w := binary.Uvarint(entry)
+	if w <= 0 || n > uint64(len(entry)-w) {
+		return nil, nil
+	}
 	ikey = entry[w : w+int(n)]
 	rest := entry[w+int(n):]
 	vn, vw := binary.Uvarint(rest)
+	if vw <= 0 || vn > uint64(len(rest)-vw) {
+		return ikey, nil
+	}
 	return ikey, rest[vw : vw+int(vn)]
 }
 
