@@ -8,14 +8,22 @@
 //	dbbench [-db DIR] [-benchmarks fillseq,fillrandom,overwrite,readrandom,readseq,deleterandom]
 //	        [-num 100000] [-value_size 128] [-key_size 16] [-backend cpu|fcae]
 //	        [-engine_n 9] [-engine_v 8] [-compression_ratio 0.5]
-//	        [-trace out.jsonl] [-metrics]
+//	        [-compaction-workers 1] [-device-channels 1] [-fault-rate 0.0] [-fault-seed 1]
+//	        [-trace out.jsonl] [-metrics] [-json out.json]
 //
-// -trace writes one JSON line per compaction (inputs, outputs, pairs,
-// modeled kernel/PCIe time, phase spans); -metrics dumps the final metrics
-// snapshot as JSON on stdout, machine-readable for BENCH_*.json tooling.
+// -device-channels builds that many independent engine instances behind
+// the offload scheduler (backend=fcae only); -compaction-workers runs
+// that many background compactors against them; -fault-rate injects
+// device faults (errors, mid-merge write failures, stalls) at the given
+// probability, exercising the CPU-fallback path. -trace writes one JSON
+// line per compaction (inputs, outputs, pairs, modeled kernel/PCIe time,
+// phase spans); -metrics dumps the final metrics snapshot as JSON on
+// stdout; -json writes a machine-readable result blob (config, per-
+// benchmark ops/s, store stats, dispatch routing counters) to a file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +33,25 @@ import (
 	"fcae"
 	"fcae/internal/workload"
 )
+
+// benchResult is one benchmark's row in the -json report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	MicrosPerOp float64 `json:"micros_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Found       int     `json:"found,omitempty"`
+}
+
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	Config     map[string]any     `json:"config"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Stats      fcae.Stats         `json:"stats"`
+	Dispatch   fcae.DispatchStats `json:"dispatch"`
+	LevelFiles []int              `json:"level_files"`
+}
 
 func main() {
 	dir := flag.String("db", "", "database directory (default: a temp dir)")
@@ -36,8 +63,13 @@ func main() {
 	engineN := flag.Int("engine_n", 9, "FCAE decoder lanes")
 	engineV := flag.Int("engine_v", 8, "FCAE value lane width")
 	ratio := flag.Float64("compression_ratio", 0.5, "value compressibility")
+	workers := flag.Int("compaction-workers", 1, "concurrent background compaction workers")
+	channels := flag.Int("device-channels", 1, "device channels (engine instances) behind the scheduler; backend=fcae only")
+	faultRate := flag.Float64("fault-rate", 0, "device fault injection probability [0,1); backend=fcae only")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector RNG seed")
 	tracePath := flag.String("trace", "", "write per-compaction JSONL trace records to this file")
 	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
+	jsonPath := flag.String("json", "", "write a machine-readable result blob to this file")
 	flag.Parse()
 
 	if *dir == "" {
@@ -49,16 +81,28 @@ func main() {
 		*dir = d
 	}
 
-	opts := fcae.Options{}
+	opts := fcae.Options{CompactionWorkers: *workers}
 	if *backend == "fcae" {
 		cfg := fcae.MultiInputEngineConfig()
 		cfg.N = *engineN
 		cfg.V = *engineV
-		exec, err := fcae.NewEngineExecutor(cfg)
-		if err != nil {
-			fatal(err)
+		if *channels < 1 {
+			fatal(fmt.Errorf("-device-channels must be >= 1, got %d", *channels))
 		}
-		opts.Executor = exec
+		devs := make([]fcae.CompactionExecutor, *channels)
+		for i := range devs {
+			exec, err := fcae.NewEngineExecutor(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			devs[i] = exec
+		}
+		opts.DeviceExecutors = devs
+		if *faultRate > 0 {
+			opts.FaultInjector = fcae.NewProbInjector(*faultSeed, *faultRate)
+		}
+	} else if *faultRate > 0 {
+		fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
 	}
 	var tw *fcae.TraceWriter
 	if *tracePath != "" {
@@ -76,24 +120,31 @@ func main() {
 	}
 	defer db.Close()
 
-	fmt.Printf("fcae dbbench: dir=%s backend=%s num=%d key=%dB value=%dB\n",
-		*dir, *backend, *num, *keySize, *valueSize)
+	fmt.Printf("fcae dbbench: dir=%s backend=%s num=%d key=%dB value=%dB workers=%d channels=%d fault-rate=%g\n",
+		*dir, *backend, *num, *keySize, *valueSize, *workers, *channels, *faultRate)
 
+	var results []benchResult
 	for _, name := range strings.Split(*benches, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		if err := runBench(db, name, *num, *keySize, *valueSize, *ratio); err != nil {
+		res, err := runBench(db, name, *num, *keySize, *valueSize, *ratio)
+		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		results = append(results, res)
 	}
 
 	st := db.Stats()
+	ds := db.DispatchStats()
 	fmt.Printf("\nstats: flushes=%d compactions=%d (hw=%d swFallback=%d trivial=%d)\n",
 		st.Flushes, st.Compactions, st.HWCompactions, st.SWFallbacks, st.TrivialMoves)
 	fmt.Printf("compaction bytes: read=%d written=%d; modeled kernel=%s pcie=%s; stalls=%s\n",
 		st.CompactionRead, st.CompactionWrite, st.KernelTime, st.TransferTime, st.StallTime)
+	fmt.Printf("dispatch: device=%d cpu=%d lanes=%v faults=%d timeouts=%d retries=%d fallbacks(fanin=%d budget=%d saturated=%d fault=%d)\n",
+		ds.DeviceJobs, ds.CPUJobs, ds.LaneJobs, ds.Faults, ds.Timeouts, ds.Retries,
+		ds.FallbackFanIn, ds.FallbackBudget, ds.FallbackSaturated, ds.FallbackFault)
 	levels := db.LevelFiles()
 	fmt.Printf("level files: %v\n", levels)
 
@@ -104,6 +155,34 @@ func main() {
 		}
 		fmt.Printf("\n%s\n", out)
 	}
+	if *jsonPath != "" {
+		report := jsonReport{
+			Config: map[string]any{
+				"backend":            *backend,
+				"num":                *num,
+				"key_size":           *keySize,
+				"value_size":         *valueSize,
+				"compression_ratio":  *ratio,
+				"compaction_workers": *workers,
+				"device_channels":    *channels,
+				"fault_rate":         *faultRate,
+				"fault_seed":         *faultSeed,
+				"benchmarks":         *benches,
+			},
+			Benchmarks: results,
+			Stats:      st,
+			Dispatch:   ds,
+			LevelFiles: levels[:],
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("json report written to %s\n", *jsonPath)
+	}
 	if tw != nil {
 		if err := tw.Err(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
@@ -112,7 +191,7 @@ func main() {
 	}
 }
 
-func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float64) error {
+func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float64) (benchResult, error) {
 	keys := workload.NewKeyGen(keySize)
 	values := workload.NewValueGen(valueSize, ratio, 42)
 
@@ -134,7 +213,7 @@ func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float
 	case "readwhilewriting":
 		return runReadWhileWriting(db, num, keySize, valueSize, ratio)
 	default:
-		return fmt.Errorf("unknown benchmark %q", name)
+		return benchResult{}, fmt.Errorf("unknown benchmark %q", name)
 	}
 
 	start := time.Now()
@@ -144,34 +223,40 @@ func runBench(db *fcae.DB, name string, num, keySize, valueSize int, ratio float
 		switch {
 		case name == "deleterandom":
 			if err := db.Delete(k); err != nil {
-				return err
+				return benchResult{}, err
 			}
 		case write:
 			if err := db.Put(k, values.Value()); err != nil {
-				return err
+				return benchResult{}, err
 			}
 		default:
 			if _, err := db.Get(k); err == nil {
 				found++
 			} else if err != fcae.ErrNotFound {
-				return err
+				return benchResult{}, err
 			}
 		}
 	}
 	elapsed := time.Since(start)
-	opsPerSec := float64(num) / elapsed.Seconds()
-	mb := float64(num*(keySize+valueSize)) / 1e6
+	res := benchResult{
+		Name:        name,
+		Ops:         num,
+		MicrosPerOp: float64(elapsed.Microseconds()) / float64(num),
+		OpsPerSec:   float64(num) / elapsed.Seconds(),
+		MBPerSec:    float64(num*(keySize+valueSize)) / 1e6 / elapsed.Seconds(),
+		Found:       found,
+	}
 	extra := ""
 	if !write {
 		extra = fmt.Sprintf(" (found %d)", found)
 	}
 	fmt.Printf("%-12s : %10.3f micros/op; %8.1f ops/sec; %7.1f MB/s%s\n",
-		name, float64(elapsed.Microseconds())/float64(num), opsPerSec, mb/elapsed.Seconds(), extra)
-	return nil
+		name, res.MicrosPerOp, res.OpsPerSec, res.MBPerSec, extra)
+	return res, nil
 }
 
 // runSeekRandom measures iterator seek + short scan latency.
-func runSeekRandom(db *fcae.DB, num, keySize int) error {
+func runSeekRandom(db *fcae.DB, num, keySize int) (benchResult, error) {
 	keys := workload.NewKeyGen(keySize)
 	seq := workload.NewUniform(uint64(num), 77)
 	start := time.Now()
@@ -179,25 +264,31 @@ func runSeekRandom(db *fcae.DB, num, keySize int) error {
 	for i := 0; i < num/10; i++ { // seeks are pricier; 10% of the op count
 		it, err := db.NewIterator()
 		if err != nil {
-			return err
+			return benchResult{}, err
 		}
 		for ok, n := it.Seek(keys.Key(seq.Next())), 0; ok && n < 10; ok, n = it.Next(), n+1 {
 			entries++
 		}
 		if err := it.Close(); err != nil {
-			return err
+			return benchResult{}, err
 		}
 	}
 	elapsed := time.Since(start)
+	res := benchResult{
+		Name:        "seekrandom",
+		Ops:         num / 10,
+		MicrosPerOp: float64(elapsed.Microseconds()) / float64(num/10),
+		OpsPerSec:   float64(num/10) / elapsed.Seconds(),
+		Found:       entries,
+	}
 	fmt.Printf("%-12s : %10.3f micros/op; %8.1f seeks/sec (%d entries)\n",
-		"seekrandom", float64(elapsed.Microseconds())/float64(num/10),
-		float64(num/10)/elapsed.Seconds(), entries)
-	return nil
+		"seekrandom", res.MicrosPerOp, res.OpsPerSec, entries)
+	return res, nil
 }
 
 // runReadWhileWriting measures read latency with one writer running, the
 // contention scenario the paper's offload targets.
-func runReadWhileWriting(db *fcae.DB, num, keySize, valueSize int, ratio float64) error {
+func runReadWhileWriting(db *fcae.DB, num, keySize, valueSize int, ratio float64) (benchResult, error) {
 	keys := workload.NewKeyGen(keySize)
 	values := workload.NewValueGen(valueSize, ratio, 5)
 	stop := make(chan struct{})
@@ -227,18 +318,24 @@ func runReadWhileWriting(db *fcae.DB, num, keySize, valueSize int, ratio float64
 		} else if err != fcae.ErrNotFound {
 			close(stop)
 			<-writerErr
-			return err
+			return benchResult{}, err
 		}
 	}
 	elapsed := time.Since(start)
 	close(stop)
 	if err := <-writerErr; err != nil {
-		return err
+		return benchResult{}, err
+	}
+	res := benchResult{
+		Name:        "readwhilewriting",
+		Ops:         num,
+		MicrosPerOp: float64(elapsed.Microseconds()) / float64(num),
+		OpsPerSec:   float64(num) / elapsed.Seconds(),
+		Found:       found,
 	}
 	fmt.Printf("%-12s : %10.3f micros/op; %8.1f reads/sec (found %d)\n",
-		"readwhilewriting", float64(elapsed.Microseconds())/float64(num),
-		float64(num)/elapsed.Seconds(), found)
-	return nil
+		"readwhilewriting", res.MicrosPerOp, res.OpsPerSec, found)
+	return res, nil
 }
 
 func fatal(err error) {

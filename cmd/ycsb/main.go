@@ -4,10 +4,15 @@
 // Usage:
 //
 //	ycsb [-db DIR] [-workloads load,a,b,c,d,e,f] [-records 100000]
-//	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae] [-metrics]
+//	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae]
+//	     [-compaction-workers 1] [-device-channels 1] [-fault-rate 0.0]
+//	     [-metrics]
 //
-// -metrics dumps the final metrics snapshot as JSON on stdout,
-// machine-readable for BENCH_*.json tooling.
+// -device-channels builds that many engine instances behind the offload
+// scheduler (backend=fcae only); -compaction-workers runs that many
+// background compactors; -fault-rate injects device faults at the given
+// probability. -metrics dumps the final metrics snapshot as JSON on
+// stdout, machine-readable for BENCH_*.json tooling.
 package main
 
 import (
@@ -46,6 +51,9 @@ func main() {
 	ops := flag.Int("ops", 100000, "operations per workload")
 	valueSize := flag.Int("value_size", 1024, "value length in bytes")
 	backend := flag.String("backend", "cpu", "compaction backend: cpu or fcae")
+	workers := flag.Int("compaction-workers", 1, "concurrent background compaction workers")
+	channels := flag.Int("device-channels", 1, "device channels (engine instances) behind the scheduler; backend=fcae only")
+	faultRate := flag.Float64("fault-rate", 0, "device fault injection probability [0,1); backend=fcae only")
 	seed := flag.Int64("seed", 7, "RNG seed; every generator derives from this one stream")
 	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	flag.Parse()
@@ -58,9 +66,21 @@ func main() {
 		defer os.RemoveAll(d)
 		*dir = d
 	}
-	opts := fcae.Options{}
+	opts := fcae.Options{CompactionWorkers: *workers}
 	if *backend == "fcae" {
-		opts.Executor = fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())
+		if *channels < 1 {
+			fatal(fmt.Errorf("-device-channels must be >= 1, got %d", *channels))
+		}
+		devs := make([]fcae.CompactionExecutor, *channels)
+		for i := range devs {
+			devs[i] = fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())
+		}
+		opts.DeviceExecutors = devs
+		if *faultRate > 0 {
+			opts.FaultInjector = fcae.NewProbInjector(*seed, *faultRate)
+		}
+	} else if *faultRate > 0 {
+		fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
 	}
 	db, err := fcae.Open(*dir, opts)
 	if err != nil {

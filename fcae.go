@@ -43,6 +43,7 @@ package fcae
 import (
 	"fcae/internal/compaction"
 	"fcae/internal/core"
+	"fcae/internal/dispatch"
 	"fcae/internal/lsm"
 	"fcae/internal/obs"
 )
@@ -79,6 +80,53 @@ type (
 	// reference executor and the FCAE engine executor.
 	CompactionExecutor = compaction.Executor
 )
+
+// Offload-scheduler types. Options.DeviceExecutors configures a pool of
+// device channels (one executor instance each), Options.CompactionWorkers
+// the number of concurrent background compactors, and Options.Dispatch
+// the scheduler's queueing/retry behavior. DB.DispatchStats reports the
+// per-lane routing counters.
+type (
+	// DispatchTuning sets the offload scheduler's queue depth, device
+	// deadline, retry policy and image budget. The zero value picks
+	// working defaults.
+	DispatchTuning = dispatch.Tuning
+	// DispatchStats is a snapshot of the scheduler's routing counters:
+	// device vs CPU jobs, per-lane totals, faults, timeouts, retries and
+	// the per-reason fallback counts.
+	DispatchStats = dispatch.Stats
+	// FaultInjector decides, per device attempt, whether and how the
+	// simulated device misbehaves. Set it in Options.FaultInjector.
+	FaultInjector = dispatch.FaultInjector
+	// Fault is one injected misbehavior: an error, a mid-merge write
+	// failure, a stall or added latency.
+	Fault = dispatch.Fault
+	// FaultKind enumerates the injectable misbehaviors.
+	FaultKind = dispatch.FaultKind
+)
+
+// Fault kinds for FaultInjector implementations.
+const (
+	// FaultNone leaves the attempt untouched.
+	FaultNone = dispatch.FaultNone
+	// FaultError fails the attempt immediately.
+	FaultError = dispatch.FaultError
+	// FaultWrite fails the attempt mid-merge after some output bytes.
+	FaultWrite = dispatch.FaultWrite
+	// FaultStall hangs the attempt until the device deadline cuts it.
+	FaultStall = dispatch.FaultStall
+	// FaultSlow adds latency without failing.
+	FaultSlow = dispatch.FaultSlow
+)
+
+// NewProbInjector returns a FaultInjector that faults a device attempt
+// with the given probability (split evenly across error, mid-merge write
+// failure and stall), deterministically per seed.
+var NewProbInjector = dispatch.NewProbInjector
+
+// NewScriptInjector returns a FaultInjector that replays the given fault
+// script in order, then injects nothing. Intended for tests.
+var NewScriptInjector = dispatch.NewScriptInjector
 
 // Observability types. An EventListener set in Options.EventListener
 // receives typed lifecycle events; DB.Metrics returns a Metrics snapshot

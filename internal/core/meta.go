@@ -105,6 +105,12 @@ func DecodeMetaOut(buf []byte) ([]MetaOutEntry, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[metaOutHeaderLen:]
+	// Every entry needs at least its fixed fields plus two key-length
+	// prefixes, so a count the payload cannot hold is hostile — reject it
+	// before sizing the allocation with it.
+	if n > len(buf)/(metaOutEntryFixedLen+8) {
+		return nil, fmt.Errorf("%w: MetaOut count %d exceeds payload", ErrLayout, n)
+	}
 	readBytes := func() ([]byte, error) {
 		if len(buf) < 4 {
 			return nil, fmt.Errorf("%w: MetaOut truncated", ErrLayout)

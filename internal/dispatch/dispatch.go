@@ -1,0 +1,552 @@
+// Package dispatch is the host-side compaction-offload scheduler (the
+// paper's Fig. 6 routing box grown into a subsystem, following LUDA's
+// observation that offload wins hinge on keeping the device busy, not on
+// the kernel alone). It owns a bounded job queue feeding a pool of device
+// channels — each wrapping one compaction executor instance, the analogue
+// of one FCAE compaction unit — plus a software (CPU) lane, and routes
+// every job through an admission policy:
+//
+//   - fan-in: jobs whose run count exceeds the device's N go to the CPU
+//     lane (the paper's "#SSTable in L0 > N-1 → SW compaction" rule);
+//   - image budget: jobs whose input bytes exceed the device image budget
+//     go to the CPU lane (the images would not fit card DRAM);
+//   - backpressure: when the device queue is full the job runs on the CPU
+//     lane immediately instead of stalling the compaction worker;
+//   - fault fallback: a device attempt that faults or times out is
+//     retried with backoff, then degraded to the CPU lane — a flaky card
+//     slows compaction down, it never wedges the store.
+//
+// The scheduler is deliberately oblivious to what a job merges: it sees
+// compaction.Job/Env and returns compaction.Result, so the lsm layer's
+// manifest bookkeeping is untouched by routing decisions.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fcae/internal/compaction"
+	"fcae/internal/obs"
+)
+
+// Route reasons reported in Route.Reason and the obs trace records.
+const (
+	// ReasonFanIn: the job's run count exceeded the device's MaxRuns.
+	ReasonFanIn = "fanin"
+	// ReasonBudget: the job's input bytes exceeded DeviceImageBudget.
+	ReasonBudget = "image-budget"
+	// ReasonSaturated: the device queue was full at admission.
+	ReasonSaturated = "saturated"
+	// ReasonFault: device attempts faulted until retries were exhausted.
+	ReasonFault = "device-fault"
+	// ReasonNoDevice: the scheduler has no device channels configured.
+	ReasonNoDevice = "no-device"
+)
+
+// Tuning bounds the scheduler's queueing and retry behavior. The zero
+// value selects the documented defaults.
+type Tuning struct {
+	// QueueDepth bounds the device job queue (default 2x channels). A
+	// full queue routes new jobs to the CPU lane instead of blocking.
+	QueueDepth int
+	// DeviceDeadline caps one device attempt's stall time (default 2s).
+	// Only injected stalls are cut short — a merge that is actually
+	// executing is never abandoned, so no orphan writer survives a
+	// timeout.
+	DeviceDeadline time.Duration
+	// MaxDeviceRetries is how many times a faulted job is re-dispatched
+	// to the device pool before falling back to the CPU lane (default 1;
+	// set -1 to disable retries).
+	MaxDeviceRetries int
+	// RetryBackoff is the base backoff between device retries, scaled
+	// linearly by attempt number (default 10ms).
+	RetryBackoff time.Duration
+	// DeviceImageBudget caps the input bytes of a device job; larger jobs
+	// route to the CPU lane. 0 means unlimited.
+	DeviceImageBudget int64
+	// CPUSlots bounds concurrent CPU-lane merges; 0 means unbounded (the
+	// caller's worker count is the natural bound).
+	CPUSlots int
+}
+
+// Validate rejects nonsensical tuning values.
+func (t Tuning) Validate() error {
+	neg := func(name string, v int64) error {
+		return fmt.Errorf("dispatch: invalid Tuning: %s is negative (%d)", name, v)
+	}
+	switch {
+	case t.QueueDepth < 0:
+		return neg("QueueDepth", int64(t.QueueDepth))
+	case t.DeviceDeadline < 0:
+		return neg("DeviceDeadline", int64(t.DeviceDeadline))
+	case t.MaxDeviceRetries < -1:
+		return fmt.Errorf("dispatch: invalid Tuning: MaxDeviceRetries is %d (minimum -1)", t.MaxDeviceRetries)
+	case t.RetryBackoff < 0:
+		return neg("RetryBackoff", int64(t.RetryBackoff))
+	case t.DeviceImageBudget < 0:
+		return neg("DeviceImageBudget", t.DeviceImageBudget)
+	case t.CPUSlots < 0:
+		return neg("CPUSlots", int64(t.CPUSlots))
+	}
+	return nil
+}
+
+func (t Tuning) withDefaults(channels int) Tuning {
+	if t.QueueDepth == 0 {
+		t.QueueDepth = 2 * channels
+	}
+	if t.DeviceDeadline == 0 {
+		t.DeviceDeadline = 2 * time.Second
+	}
+	if t.MaxDeviceRetries == 0 {
+		t.MaxDeviceRetries = 1
+	}
+	if t.MaxDeviceRetries < 0 {
+		t.MaxDeviceRetries = 0
+	}
+	if t.RetryBackoff == 0 {
+		t.RetryBackoff = 10 * time.Millisecond
+	}
+	return t
+}
+
+// Config assembles a Scheduler.
+type Config struct {
+	// Devices are the device channels, one executor instance per channel
+	// (instances must not be shared: each is one simulated compaction
+	// unit with its own pipeline). Empty means every job runs on the CPU
+	// lane.
+	Devices []compaction.Executor
+	// CPU is the software fallback lane; nil selects compaction.CPU.
+	CPU compaction.Executor
+	// Injector, when non-nil, is consulted once per device attempt.
+	Injector FaultInjector
+	// Tuning bounds queueing and retries; zero value = defaults.
+	Tuning Tuning
+}
+
+// Route describes where one job ran and why.
+type Route struct {
+	// Lane is "device-<i>" or "cpu".
+	Lane string
+	// Executor is the Name() of the executor that produced the result.
+	Executor string
+	// Reason explains a CPU routing ("" when the job ran on a device, or
+	// when the scheduler has devices and chose one by default).
+	Reason string
+	// DeviceAttempts counts device-lane attempts, including faulted ones.
+	DeviceAttempts int
+	// Faults counts injected faults and timeouts observed by this job.
+	Faults int
+}
+
+// OnDevice reports whether the job completed on a device channel.
+func (r Route) OnDevice() bool { return r.Lane != "" && r.Lane != "cpu" }
+
+// Fallback reports whether the job ran on the CPU lane despite device
+// channels being configured — the stat the paper's Fig. 6 "SW compaction"
+// arrow counts. A pure-CPU configuration is not a fallback.
+func (r Route) Fallback() bool {
+	return r.Lane == "cpu" && r.Reason != "" && r.Reason != ReasonNoDevice
+}
+
+// Stats is a snapshot of the scheduler's routing counters.
+type Stats struct {
+	// DeviceJobs / CPUJobs count completed merges per lane class.
+	DeviceJobs int64 `json:"device_jobs"`
+	CPUJobs    int64 `json:"cpu_jobs"`
+	// LaneJobs breaks DeviceJobs down per device channel.
+	LaneJobs []int64 `json:"lane_jobs,omitempty"`
+	// Faults counts injected device faults (including timeouts); Timeouts
+	// counts the deadline subset. Retries counts re-dispatches.
+	Faults   int64 `json:"faults"`
+	Timeouts int64 `json:"timeouts"`
+	Retries  int64 `json:"retries"`
+	// CPU-fallback routings by reason.
+	FallbackFanIn     int64 `json:"fallback_fanin"`
+	FallbackBudget    int64 `json:"fallback_budget"`
+	FallbackSaturated int64 `json:"fallback_saturated"`
+	FallbackFault     int64 `json:"fallback_fault"`
+	// QueueDepth is the instantaneous device-queue occupancy.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// request is one job handed to a device channel.
+type request struct {
+	job *compaction.Job
+	env compaction.Env
+	// dequeued ends the job's dispatch_queue trace span; the channel
+	// calls it once at pickup.
+	dequeued func()
+	done     chan deviceResult
+}
+
+type deviceResult struct {
+	res  *compaction.Result
+	lane int
+	err  error
+}
+
+// Scheduler routes compaction jobs between the device channel pool and
+// the CPU lane. Safe for concurrent Execute calls; Close joins every
+// channel goroutine.
+type Scheduler struct {
+	// Immutable after New.
+	devices  []compaction.Executor
+	cpu      compaction.Executor
+	injector FaultInjector
+	tun      Tuning
+	maxRuns  int
+	queue    chan *request
+	cpuSlots chan struct{} // nil when CPUSlots == 0
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	st     Stats
+}
+
+// New builds a scheduler and starts one goroutine per device channel.
+// The caller must Close it to join them.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, err
+	}
+	for i, d := range cfg.Devices {
+		if d == nil {
+			return nil, fmt.Errorf("dispatch: device channel %d is nil", i)
+		}
+	}
+	cpu := cfg.CPU
+	if cpu == nil {
+		cpu = compaction.CPU{}
+	}
+	s := &Scheduler{
+		devices:  cfg.Devices,
+		cpu:      cpu,
+		injector: cfg.Injector,
+		tun:      cfg.Tuning.withDefaults(len(cfg.Devices)),
+		stop:     make(chan struct{}),
+	}
+	// The pool's admission limit is the weakest channel's (0 = unlimited).
+	for _, d := range s.devices {
+		if m := d.MaxRuns(); m > 0 && (s.maxRuns == 0 || m < s.maxRuns) {
+			s.maxRuns = m
+		}
+	}
+	s.queue = make(chan *request, s.tun.QueueDepth)
+	if s.tun.CPUSlots > 0 {
+		s.cpuSlots = make(chan struct{}, s.tun.CPUSlots)
+	}
+	if len(s.devices) > 0 {
+		s.st.LaneJobs = make([]int64, len(s.devices))
+	}
+	for i := range s.devices {
+		s.wg.Add(1)
+		go s.channelLoop(i)
+	}
+	return s, nil
+}
+
+// Channels returns the device channel count.
+func (s *Scheduler) Channels() int { return len(s.devices) }
+
+// MaxRuns returns the device pool's admission fan-in limit (0 unlimited).
+func (s *Scheduler) MaxRuns() int { return s.maxRuns }
+
+// Close stops the channel goroutines and fails stranded requests. Safe to
+// call twice. In-flight Execute calls return ErrClosed.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case req := <-s.queue:
+			req.done <- deviceResult{err: ErrClosed}
+		default:
+			return nil
+		}
+	}
+}
+
+// Execute runs one compaction job through the routing policy and returns
+// the merged result plus the route taken. Blocking: the calling worker
+// owns the job until a lane resolves it.
+func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compaction.Result, Route, error) {
+	var route Route
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, route, ErrClosed
+	}
+	switch {
+	case len(s.devices) == 0:
+		route.Reason = ReasonNoDevice
+		return s.runCPU(job, env, &route)
+	case s.maxRuns > 0 && job.NumRuns() > s.maxRuns:
+		route.Reason = ReasonFanIn
+		s.noteFallback(ReasonFanIn)
+		return s.runCPU(job, env, &route)
+	case s.tun.DeviceImageBudget > 0 && job.InputBytes() > s.tun.DeviceImageBudget:
+		route.Reason = ReasonBudget
+		s.noteFallback(ReasonBudget)
+		return s.runCPU(job, env, &route)
+	}
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if !s.sleep(time.Duration(attempt) * s.tun.RetryBackoff) {
+				return nil, route, ErrClosed
+			}
+		}
+		req := &request{
+			job:      job,
+			env:      env,
+			dequeued: job.Trace.StartSpan("dispatch_queue"),
+			done:     make(chan deviceResult, 1),
+		}
+		if attempt == 0 {
+			// First admission never blocks: a saturated device pool means
+			// the CPU lane is the faster path (backpressure routing).
+			select {
+			case s.queue <- req:
+			default:
+				route.Reason = ReasonSaturated
+				s.noteFallback(ReasonSaturated)
+				return s.runCPU(job, env, &route)
+			}
+		} else {
+			select {
+			case s.queue <- req:
+			case <-s.stop:
+				return nil, route, ErrClosed
+			}
+		}
+		route.DeviceAttempts++
+		var r deviceResult
+		select {
+		case r = <-req.done:
+		case <-s.stop:
+			return nil, route, ErrClosed
+		}
+		switch {
+		case r.err == nil:
+			route.Lane = laneName(r.lane)
+			route.Executor = s.devices[r.lane].Name()
+			s.noteDeviceJob(r.lane)
+			return r.res, route, nil
+		case errors.Is(r.err, ErrClosed):
+			return nil, route, r.err
+		case !errors.Is(r.err, ErrDeviceFault) && !errors.Is(r.err, ErrDeviceTimeout):
+			// A genuine merge failure (corrupt input, disk full) is not
+			// device flakiness; masking it behind a CPU retry would hide
+			// data errors, so it surfaces to the caller as-is.
+			route.Lane = laneName(r.lane)
+			route.Executor = s.devices[r.lane].Name()
+			return nil, route, r.err
+		}
+		route.Faults++
+		s.noteFault(errors.Is(r.err, ErrDeviceTimeout))
+		if attempt >= s.tun.MaxDeviceRetries {
+			route.Reason = ReasonFault
+			s.noteFallback(ReasonFault)
+			return s.runCPU(job, env, &route)
+		}
+		s.noteRetry()
+	}
+}
+
+// runCPU executes the job on the software lane.
+func (s *Scheduler) runCPU(job *compaction.Job, env compaction.Env, route *Route) (*compaction.Result, Route, error) {
+	route.Lane = "cpu"
+	route.Executor = s.cpu.Name()
+	if s.cpuSlots != nil {
+		select {
+		case s.cpuSlots <- struct{}{}:
+			defer func() { <-s.cpuSlots }()
+		case <-s.stop:
+			return nil, *route, ErrClosed
+		}
+	}
+	done := job.Trace.StartSpan("cpu_merge")
+	res, err := s.cpu.Compact(job, env)
+	done()
+	s.noteCPUJob()
+	return res, *route, err
+}
+
+// channelLoop is one device channel: it drains the shared queue and runs
+// attempts on its own executor instance.
+func (s *Scheduler) channelLoop(lane int) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.queue:
+			req.dequeued()
+			res, err := s.deviceAttempt(lane, req)
+			req.done <- deviceResult{res: res, lane: lane, err: err}
+		}
+	}
+}
+
+// deviceAttempt runs one attempt on lane, applying any injected fault.
+// The deadline cuts short only injected stalls: a merge that actually
+// started always runs to completion, so a timed-out attempt never leaves
+// a concurrent writer behind.
+func (s *Scheduler) deviceAttempt(lane int, req *request) (*compaction.Result, error) {
+	var fault Fault
+	if s.injector != nil {
+		fault = s.injector.NextFault(lane, req.job)
+	}
+	switch fault.Kind {
+	case FaultStall:
+		stall := s.tun.DeviceDeadline
+		if fault.Delay > 0 && fault.Delay < stall {
+			stall = fault.Delay
+		}
+		if !s.sleep(stall) {
+			return nil, ErrClosed
+		}
+		if fault.Delay == 0 || fault.Delay >= s.tun.DeviceDeadline {
+			return nil, fmt.Errorf("%w: %s stalled %s", ErrDeviceTimeout, laneName(lane), s.tun.DeviceDeadline)
+		}
+	case FaultSlow:
+		if !s.sleep(fault.Delay) {
+			return nil, ErrClosed
+		}
+	case FaultError:
+		return nil, fmt.Errorf("%w: %s rejected the job", ErrDeviceFault, laneName(lane))
+	}
+	env := req.env
+	var fe *faultEnv
+	if fault.Kind == FaultWrite {
+		fe = newFaultEnv(req.env, fault.FailAfterBytes)
+		env = fe
+	}
+	done := req.job.Trace.StartSpan("device_merge")
+	res, err := s.devices[lane].Compact(req.job, env)
+	done()
+	if err != nil && fe != nil && fe.tripped() {
+		// The executor failed because of the injected output error: tag
+		// it so the scheduler retries/falls back instead of surfacing it.
+		err = fmt.Errorf("%w: mid-merge write on %s: %w", ErrDeviceFault, laneName(lane), err)
+	}
+	return res, err
+}
+
+// sleep waits d or until Close; it reports whether the full wait elapsed.
+func (s *Scheduler) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+func laneName(lane int) string { return fmt.Sprintf("device-%d", lane) }
+
+// Stats returns a snapshot of the routing counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.st
+	out.LaneJobs = append([]int64(nil), s.st.LaneJobs...)
+	out.QueueDepth = len(s.queue)
+	return out
+}
+
+func (s *Scheduler) noteDeviceJob(lane int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.DeviceJobs++
+	for len(s.st.LaneJobs) <= lane {
+		s.st.LaneJobs = append(s.st.LaneJobs, 0)
+	}
+	s.st.LaneJobs[lane]++
+}
+
+func (s *Scheduler) noteCPUJob() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.CPUJobs++
+}
+
+func (s *Scheduler) noteFault(timeout bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Faults++
+	if timeout {
+		s.st.Timeouts++
+	}
+}
+
+func (s *Scheduler) noteRetry() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.Retries++
+}
+
+func (s *Scheduler) noteFallback(reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch reason {
+	case ReasonFanIn:
+		s.st.FallbackFanIn++
+	case ReasonBudget:
+		s.st.FallbackBudget++
+	case ReasonSaturated:
+		s.st.FallbackSaturated++
+	case ReasonFault:
+		s.st.FallbackFault++
+	}
+}
+
+// PublishMetrics implements obs.MetricsPublisher: routing counters appear
+// as callback gauges (dispatch_device_jobs, dispatch_cpu_jobs,
+// dispatch_lane<i>_jobs, dispatch_faults, dispatch_timeouts,
+// dispatch_retries, dispatch_fallback_{fanin,budget,saturated,fault},
+// dispatch_queue_depth).
+func (s *Scheduler) PublishMetrics(r *obs.Registry) {
+	stat := func(pick func(Stats) float64) func() float64 {
+		return func() float64 { return pick(s.Stats()) }
+	}
+	r.GaugeFunc("dispatch_device_jobs", stat(func(st Stats) float64 { return float64(st.DeviceJobs) }))
+	r.GaugeFunc("dispatch_cpu_jobs", stat(func(st Stats) float64 { return float64(st.CPUJobs) }))
+	r.GaugeFunc("dispatch_faults", stat(func(st Stats) float64 { return float64(st.Faults) }))
+	r.GaugeFunc("dispatch_timeouts", stat(func(st Stats) float64 { return float64(st.Timeouts) }))
+	r.GaugeFunc("dispatch_retries", stat(func(st Stats) float64 { return float64(st.Retries) }))
+	r.GaugeFunc("dispatch_fallback_fanin", stat(func(st Stats) float64 { return float64(st.FallbackFanIn) }))
+	r.GaugeFunc("dispatch_fallback_budget", stat(func(st Stats) float64 { return float64(st.FallbackBudget) }))
+	r.GaugeFunc("dispatch_fallback_saturated", stat(func(st Stats) float64 { return float64(st.FallbackSaturated) }))
+	r.GaugeFunc("dispatch_fallback_fault", stat(func(st Stats) float64 { return float64(st.FallbackFault) }))
+	r.GaugeFunc("dispatch_queue_depth", stat(func(st Stats) float64 { return float64(st.QueueDepth) }))
+	for i := range s.devices {
+		lane := i
+		r.GaugeFunc(fmt.Sprintf("dispatch_lane%d_jobs", lane), func() float64 {
+			st := s.Stats()
+			if lane < len(st.LaneJobs) {
+				return float64(st.LaneJobs[lane])
+			}
+			return 0
+		})
+	}
+}

@@ -1,0 +1,416 @@
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fcae/internal/compaction"
+)
+
+// fakeExec is a scriptable device/CPU executor.
+type fakeExec struct {
+	name    string
+	maxRuns int
+	delay   time.Duration
+	err     error
+	// writeOut, when >0, makes Compact push that many bytes through the
+	// Env so faultEnv write errors can trip.
+	writeOut int
+	calls    atomic.Int64
+}
+
+func (f *fakeExec) Name() string { return f.name }
+func (f *fakeExec) MaxRuns() int { return f.maxRuns }
+
+func (f *fakeExec) Compact(job *compaction.Job, env compaction.Env) (*compaction.Result, error) {
+	f.calls.Add(1)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.writeOut > 0 {
+		num, w, err := env.NewOutput()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(make([]byte, f.writeOut)); err != nil {
+			_ = w.Close() // best-effort cleanup on the injected error path
+			return nil, fmt.Errorf("fake merge: %w", err)
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return &compaction.Result{Outputs: []compaction.OutputTable{{Num: num, Size: int64(f.writeOut)}}}, nil
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	return &compaction.Result{}, nil
+}
+
+// nullEnv discards output bytes.
+type nullEnv struct{ next atomic.Uint64 }
+
+func (e *nullEnv) NewOutput() (uint64, io.WriteCloser, error) {
+	return e.next.Add(1), nopWriteCloser{}, nil
+}
+
+type nopWriteCloser struct{}
+
+func (nopWriteCloser) Write(p []byte) (int, error) { return len(p), nil }
+func (nopWriteCloser) Close() error                { return nil }
+
+func testJob(runs int) *compaction.Job {
+	job := &compaction.Job{}
+	for i := 0; i < runs; i++ {
+		job.Runs = append(job.Runs, []compaction.Table{{Num: uint64(i + 1), Size: 1 << 10}})
+	}
+	return job
+}
+
+func newTestSched(t *testing.T, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+// TestRoutingTable exercises the admission policy cases.
+func TestRoutingTable(t *testing.T) {
+	t.Run("no-device", func(t *testing.T) {
+		cpu := &fakeExec{name: "cpu"}
+		s := newTestSched(t, Config{CPU: cpu})
+		_, route, err := s.Execute(testJob(2), &nullEnv{})
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if route.Lane != "cpu" || route.Reason != ReasonNoDevice || route.Fallback() {
+			t.Fatalf("route = %+v, want cpu lane, reason %q, not a fallback", route, ReasonNoDevice)
+		}
+		if cpu.calls.Load() != 1 {
+			t.Fatalf("cpu calls = %d, want 1", cpu.calls.Load())
+		}
+	})
+
+	t.Run("device-default", func(t *testing.T) {
+		dev := &fakeExec{name: "fcae", maxRuns: 4}
+		cpu := &fakeExec{name: "cpu"}
+		s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
+		_, route, err := s.Execute(testJob(2), &nullEnv{})
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if !route.OnDevice() || route.Lane != "device-0" || route.Executor != "fcae" || route.Reason != "" {
+			t.Fatalf("route = %+v, want device-0/fcae", route)
+		}
+		if dev.calls.Load() != 1 || cpu.calls.Load() != 0 {
+			t.Fatalf("calls dev=%d cpu=%d, want 1/0", dev.calls.Load(), cpu.calls.Load())
+		}
+	})
+
+	t.Run("fanin-overflow", func(t *testing.T) {
+		dev := &fakeExec{name: "fcae", maxRuns: 4}
+		cpu := &fakeExec{name: "cpu"}
+		s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
+		_, route, err := s.Execute(testJob(5), &nullEnv{})
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if !route.Fallback() || route.Reason != ReasonFanIn {
+			t.Fatalf("route = %+v, want CPU fallback with reason %q", route, ReasonFanIn)
+		}
+		if dev.calls.Load() != 0 {
+			t.Fatalf("device ran a job it must reject (fan-in %d > %d)", 5, 4)
+		}
+		if got := s.Stats().FallbackFanIn; got != 1 {
+			t.Fatalf("FallbackFanIn = %d, want 1", got)
+		}
+	})
+
+	t.Run("image-budget", func(t *testing.T) {
+		dev := &fakeExec{name: "fcae", maxRuns: 8}
+		s := newTestSched(t, Config{
+			Devices: []compaction.Executor{dev},
+			CPU:     &fakeExec{name: "cpu"},
+			Tuning:  Tuning{DeviceImageBudget: 1 << 10}, // one 1KiB table already at the cap
+		})
+		_, route, err := s.Execute(testJob(2), &nullEnv{}) // 2KiB input > 1KiB budget
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if !route.Fallback() || route.Reason != ReasonBudget {
+			t.Fatalf("route = %+v, want CPU fallback with reason %q", route, ReasonBudget)
+		}
+		if got := s.Stats().FallbackBudget; got != 1 {
+			t.Fatalf("FallbackBudget = %d, want 1", got)
+		}
+	})
+
+	t.Run("saturated", func(t *testing.T) {
+		// One slow device channel with a minimal queue: the first job
+		// occupies the channel, the second fills the queue, the third must
+		// route to CPU instead of blocking.
+		dev := &fakeExec{name: "fcae", delay: 200 * time.Millisecond}
+		cpu := &fakeExec{name: "cpu"}
+		s := newTestSched(t, Config{
+			Devices: []compaction.Executor{dev},
+			CPU:     cpu,
+			Tuning:  Tuning{QueueDepth: 1},
+		})
+		// Occupy the channel first, then the queue slot: launching both
+		// background jobs at once would race each other for the queue and
+		// one could itself take the saturation path.
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = s.Execute(testJob(1), &nullEnv{})
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for dev.calls.Load() == 0 { // channel busy, queue empty
+			if time.Now().After(deadline) {
+				t.Fatal("device never picked up the first job")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = s.Execute(testJob(1), &nullEnv{})
+		}()
+		for s.Stats().QueueDepth < 1 { // second job parked in the queue
+			if time.Now().After(deadline) {
+				t.Fatal("queue never filled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		_, route, err := s.Execute(testJob(1), &nullEnv{})
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if !route.Fallback() || route.Reason != ReasonSaturated {
+			t.Fatalf("route = %+v, want CPU fallback with reason %q", route, ReasonSaturated)
+		}
+		wg.Wait()
+		if got := s.Stats().FallbackSaturated; got != 1 {
+			t.Fatalf("FallbackSaturated = %d, want 1", got)
+		}
+	})
+}
+
+// TestFaultRetryThenSuccess proves a single injected fault is retried on
+// the device and succeeds without CPU involvement.
+func TestFaultRetryThenSuccess(t *testing.T) {
+	dev := &fakeExec{name: "fcae"}
+	cpu := &fakeExec{name: "cpu"}
+	s := newTestSched(t, Config{
+		Devices:  []compaction.Executor{dev},
+		CPU:      cpu,
+		Injector: NewScriptInjector(Fault{Kind: FaultError}),
+		Tuning:   Tuning{RetryBackoff: time.Millisecond},
+	})
+	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.OnDevice() || route.DeviceAttempts != 2 || route.Faults != 1 {
+		t.Fatalf("route = %+v, want device success after 2 attempts / 1 fault", route)
+	}
+	if cpu.calls.Load() != 0 {
+		t.Fatalf("cpu ran despite successful retry")
+	}
+	st := s.Stats()
+	if st.Faults != 1 || st.Retries != 1 || st.FallbackFault != 0 {
+		t.Fatalf("stats = %+v, want 1 fault, 1 retry, 0 fault-fallbacks", st)
+	}
+}
+
+// TestFaultExhaustionFallsBack proves persistent device faults degrade to
+// the CPU lane rather than failing the job.
+func TestFaultExhaustionFallsBack(t *testing.T) {
+	dev := &fakeExec{name: "fcae"}
+	cpu := &fakeExec{name: "cpu"}
+	s := newTestSched(t, Config{
+		Devices:  []compaction.Executor{dev},
+		CPU:      cpu,
+		Injector: NewScriptInjector(Fault{Kind: FaultError}, Fault{Kind: FaultError}),
+		Tuning:   Tuning{RetryBackoff: time.Millisecond},
+	})
+	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.Fallback() || route.Reason != ReasonFault || route.Faults != 2 {
+		t.Fatalf("route = %+v, want CPU fallback with reason %q after 2 faults", route, ReasonFault)
+	}
+	if cpu.calls.Load() != 1 {
+		t.Fatalf("cpu calls = %d, want 1", cpu.calls.Load())
+	}
+	if got := s.Stats().FallbackFault; got != 1 {
+		t.Fatalf("FallbackFault = %d, want 1", got)
+	}
+}
+
+// TestWriteFaultMidMerge proves an injected mid-merge write error is
+// tagged as a device fault (retried) rather than surfaced.
+func TestWriteFaultMidMerge(t *testing.T) {
+	dev := &fakeExec{name: "fcae", writeOut: 4096}
+	s := newTestSched(t, Config{
+		Devices:  []compaction.Executor{dev},
+		CPU:      &fakeExec{name: "cpu"},
+		Injector: NewScriptInjector(Fault{Kind: FaultWrite, FailAfterBytes: 100}),
+		Tuning:   Tuning{RetryBackoff: time.Millisecond},
+	})
+	res, route, err := s.Execute(testJob(1), &nullEnv{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.OnDevice() || route.Faults != 1 {
+		t.Fatalf("route = %+v, want device success after mid-merge write fault", route)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1 from the clean retry", len(res.Outputs))
+	}
+}
+
+// TestStallTimesOut proves a stalled channel is cut at the deadline and
+// the job completes elsewhere.
+func TestStallTimesOut(t *testing.T) {
+	dev := &fakeExec{name: "fcae"}
+	s := newTestSched(t, Config{
+		Devices:  []compaction.Executor{dev},
+		CPU:      &fakeExec{name: "cpu"},
+		Injector: NewScriptInjector(Fault{Kind: FaultStall}, Fault{Kind: FaultStall}),
+		Tuning:   Tuning{DeviceDeadline: 20 * time.Millisecond, RetryBackoff: time.Millisecond},
+	})
+	start := time.Now()
+	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.Fallback() || route.Reason != ReasonFault {
+		t.Fatalf("route = %+v, want CPU fallback after stalls", route)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled %v, deadline did not fire", elapsed)
+	}
+	st := s.Stats()
+	if st.Timeouts != 2 {
+		t.Fatalf("Timeouts = %d, want 2", st.Timeouts)
+	}
+}
+
+// TestGenuineErrorNotMasked proves a non-injected merge failure surfaces
+// to the caller instead of being retried or hidden behind the CPU lane.
+func TestGenuineErrorNotMasked(t *testing.T) {
+	realErr := errors.New("sstable: corrupt block")
+	dev := &fakeExec{name: "fcae", err: realErr}
+	cpu := &fakeExec{name: "cpu"}
+	s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
+	_, _, err := s.Execute(testJob(1), &nullEnv{})
+	if !errors.Is(err, realErr) {
+		t.Fatalf("err = %v, want the genuine merge error", err)
+	}
+	if cpu.calls.Load() != 0 || dev.calls.Load() != 1 {
+		t.Fatalf("calls dev=%d cpu=%d, want exactly one device attempt", dev.calls.Load(), cpu.calls.Load())
+	}
+}
+
+// TestExecuteAfterClose returns ErrClosed.
+func TestExecuteAfterClose(t *testing.T) {
+	s, err := New(Config{Devices: []compaction.Executor{&fakeExec{name: "fcae"}}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := s.Execute(testJob(1), &nullEnv{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Execute after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestChannelsRunConcurrently proves two device channels overlap work.
+func TestChannelsRunConcurrently(t *testing.T) {
+	var active, peak atomic.Int64
+	track := func() func() {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return func() { active.Add(-1) }
+	}
+	mk := func(i int) compaction.Executor {
+		return &trackingExec{fakeExec: fakeExec{name: fmt.Sprintf("fcae%d", i), delay: 100 * time.Millisecond}, track: track}
+	}
+	s := newTestSched(t, Config{Devices: []compaction.Executor{mk(0), mk(1)}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Execute(testJob(1), &nullEnv{}); err != nil {
+				t.Errorf("Execute: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrent device merges = %d, want >= 2", peak.Load())
+	}
+	st := s.Stats()
+	if st.DeviceJobs != 4 || len(st.LaneJobs) != 2 || st.LaneJobs[0] == 0 || st.LaneJobs[1] == 0 {
+		t.Fatalf("stats = %+v, want 4 device jobs spread across both lanes", st)
+	}
+}
+
+type trackingExec struct {
+	fakeExec
+	track func() func()
+}
+
+func (e *trackingExec) Compact(job *compaction.Job, env compaction.Env) (*compaction.Result, error) {
+	done := e.track()
+	defer done()
+	return e.fakeExec.Compact(job, env)
+}
+
+// TestTuningValidate covers the rejection paths.
+func TestTuningValidate(t *testing.T) {
+	bad := []Tuning{
+		{QueueDepth: -1},
+		{DeviceDeadline: -time.Second},
+		{MaxDeviceRetries: -2},
+		{RetryBackoff: -time.Millisecond},
+		{DeviceImageBudget: -1},
+		{CPUSlots: -1},
+	}
+	for i, tn := range bad {
+		if err := tn.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, tn)
+		}
+	}
+	if err := (Tuning{}).Validate(); err != nil {
+		t.Errorf("zero Tuning rejected: %v", err)
+	}
+	if _, err := New(Config{Devices: []compaction.Executor{nil}}); err == nil {
+		t.Errorf("New accepted a nil device channel")
+	}
+}

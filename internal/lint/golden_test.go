@@ -19,6 +19,7 @@ var goldenAnalyzers = map[string]*lint.Analyzer{
 	"lockorder": lint.LockOrder,
 	"devmem":    lint.DevMem,
 	"taint":     lint.Taint,
+	"goleak":    lint.GoLeak,
 }
 
 // TestGoldenCorpus loads every fixture module under testdata/<analyzer>/

@@ -69,7 +69,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow,
-		LockOrder, DevMem, Taint,
+		LockOrder, DevMem, Taint, GoLeak,
 	}
 }
 

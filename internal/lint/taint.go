@@ -11,8 +11,9 @@ import (
 // Taint tracks integers decoded from untrusted bytes — varint results and
 // fixed-width binary reads, the values an SSTable block or WAL record
 // hands us straight from disk — and reports slice or index expressions
-// whose bounds derive from such a value without a prior validation
-// check. This is the hostile-uvarint bug class both fuzz-found block
+// (and make() sizes, which a hostile length turns into a panic or an
+// allocation bomb) whose bounds derive from such a value without a prior
+// validation check. This is the hostile-uvarint bug class both fuzz-found block
 // decoder panics belonged to, promoted to a compile-time finding.
 //
 // Sources: the first result of encoding/binary.Uvarint/Varint (the byte
@@ -209,6 +210,17 @@ func collectTaintBody(m *Module, pkg *Package, body *ast.BlockStmt, fi *FuncInfo
 				}
 			}
 		case *ast.CallExpr:
+			// A decoded length handed to make() sizes an allocation: a
+			// hostile value either panics (negative after conversion) or
+			// balloons memory. Treat the size/capacity arguments as bound
+			// uses requiring the same prior check as an index.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "make" {
+					for _, arg := range n.Args[1:] {
+						b.actions = append(b.actions, taintAction{pos: arg.Pos(), kind: actUse, expr: arg, what: "make size"})
+					}
+				}
+			}
 			b.actions = append(b.actions, taintAction{pos: n.Pos(), kind: actCall, call: n})
 		case *ast.ReturnStmt:
 			b.actions = append(b.actions, taintAction{pos: n.Pos(), kind: actReturn, rets: n.Results})

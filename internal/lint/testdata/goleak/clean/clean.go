@@ -1,0 +1,67 @@
+// Package cleancase holds compliant goroutine lifecycles: registered
+// before the spawn, Done in the body, Wait reachable from Close.
+package cleancase
+
+import "sync"
+
+// Pool follows the full discipline, with Wait reached transitively
+// through a helper.
+type Pool struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	// Func-lit spawn with inline Done is fine too.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.ch {
+		}
+	}()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for range p.ch {
+	}
+}
+
+func (p *Pool) Close() {
+	close(p.ch)
+	p.drain()
+}
+
+func (p *Pool) drain() {
+	p.wg.Wait()
+}
+
+// NoLifecycle has no Close or Stop, so its goroutines are out of scope
+// (joined by the caller, not a teardown method).
+type NoLifecycle struct {
+	ch chan int
+}
+
+func (s *NoLifecycle) Start() {
+	go func() {
+		for range s.ch {
+		}
+	}()
+}
+
+// Run is a free function: its worker pool is joined locally and is not
+// the analyzer's concern.
+func Run(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+// Package leakcase holds lifecycle types whose goroutines violate the
+// join discipline in four distinct ways.
+package leakcase
+
+import "sync"
+
+// NoWG spawns a worker but has no WaitGroup at all: Close cannot join it.
+type NoWG struct {
+	ch chan int
+}
+
+func (p *NoWG) Start() {
+	go p.worker()
+}
+
+func (p *NoWG) worker() {
+	for range p.ch {
+	}
+}
+
+func (p *NoWG) Close() {
+	close(p.ch)
+}
+
+// NoAdd has the field and the worker calls Done, but the spawn is never
+// registered: Close can return before the worker is counted.
+type NoAdd struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *NoAdd) Start() {
+	go p.worker()
+}
+
+func (p *NoAdd) worker() {
+	defer p.wg.Done()
+	for range p.ch {
+	}
+}
+
+func (p *NoAdd) Close() {
+	close(p.ch)
+	p.wg.Wait()
+}
+
+// NoDone registers the spawn but the worker never signals completion:
+// Close blocks forever.
+type NoDone struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *NoDone) Start() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *NoDone) worker() {
+	for range p.ch {
+	}
+}
+
+func (p *NoDone) Close() {
+	close(p.ch)
+	p.wg.Wait()
+}
+
+// NoWait does the bookkeeping but Stop never joins: the worker leaks
+// past shutdown.
+type NoWait struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *NoWait) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.ch {
+		}
+	}()
+}
+
+func (p *NoWait) Stop() {
+	close(p.ch)
+}

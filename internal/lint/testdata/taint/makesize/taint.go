@@ -1,0 +1,27 @@
+// Fixture: a decoded count sizing an allocation. Unchecked it is an
+// allocation bomb (a hostile 4-byte header can demand gigabytes); after a
+// payload-derived bounds check it is fine.
+package taintcase
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+type entry struct {
+	off uint64
+	len uint32
+}
+
+func bomb(b []byte) []entry {
+	n := int(binary.LittleEndian.Uint32(b))
+	return make([]entry, n)
+}
+
+func checked(b []byte) ([]entry, error) {
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > len(b[4:])/12 {
+		return nil, errors.New("count exceeds payload")
+	}
+	return make([]entry, n), nil
+}

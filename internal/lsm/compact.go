@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fcae/internal/compaction"
+	"fcae/internal/dispatch"
 	"fcae/internal/keys"
 	"fcae/internal/manifest"
 	"fcae/internal/memtable"
@@ -19,6 +20,7 @@ import (
 // the paper's FCAE schedule (§VI-A) — flushes proceed while a merge
 // compaction is executing on the engine.
 func (db *DB) flushWorker() {
+	defer db.wg.Done()
 	db.mu.Lock()
 	for {
 		for !db.closed && db.bgErr == nil && db.imm == nil {
@@ -152,8 +154,13 @@ func (db *DB) buildTable(num uint64, mem *memtable.MemTable) (*manifest.FileMeta
 }
 
 // compactWorker schedules and executes merge compactions (the second type,
-// paper §II-A), offloading to the configured executor.
+// paper §II-A) through the dispatch scheduler. Options.CompactionWorkers
+// instances run concurrently: each claims its job's input and output
+// levels under db.mu (busyLevels), so in-flight jobs never share a level
+// and therefore never reference the same files — N workers keep N device
+// channels busy while the manifest path stays serialized under db.mu.
 func (db *DB) compactWorker() {
+	defer db.wg.Done()
 	db.mu.Lock()
 	for {
 		var c *manifest.Compaction
@@ -165,20 +172,28 @@ func (db *DB) compactWorker() {
 				return
 			}
 			if db.manualLevel >= 0 {
-				c = db.vs.PickCompactionAtLevel(db.manualLevel)
-				db.manualLevel = -1
-				if c != nil {
-					break
+				if c = db.vs.PickCompactionAtLevel(db.manualLevel); c == nil {
+					db.manualLevel = -1
+					db.bgCond.Broadcast()
+					continue
 				}
-				db.bgCond.Broadcast()
-				continue
+				if !db.levelRangeFreeLocked(c.Level, c.OutputLevel()) {
+					// Another worker owns one of the levels; the manual
+					// request stays posted until it can be claimed.
+					c = nil
+					db.bgCond.Wait()
+					continue
+				}
+				db.manualLevel = -1
+				break
 			}
-			if c = db.vs.PickCompaction(); c != nil {
+			if c = db.vs.PickCompactionFiltered(db.levelRangeFreeLocked); c != nil {
 				break
 			}
 			db.bgCond.Wait()
 		}
-		db.compactBusy = true
+		db.setLevelClaimsLocked(c, true)
+		db.compacting++
 		err := db.runCompaction(c)
 		if err != nil {
 			db.bgErr = err
@@ -186,15 +201,32 @@ func (db *DB) compactWorker() {
 				l.BackgroundError(obs.BackgroundErrorEvent{Op: "compaction", Err: err})
 			})
 		}
+		db.setLevelClaimsLocked(c, false)
 		db.deleteObsoleteFilesLocked()
-		// Deliver outside the mutex; compactBusy stays set until delivery
+		// Deliver outside the mutex; compacting stays raised until delivery
 		// completes so CompactLevel/WaitIdle/Close imply delivery.
 		db.mu.Unlock()
 		db.flushEvents()
 		db.mu.Lock()
-		db.compactBusy = false
+		db.compacting--
 		db.bgCond.Broadcast()
 	}
+}
+
+// levelRangeFreeLocked reports whether a compaction reading level and
+// writing outputLevel would overlap an in-flight job's claims. Callers
+// hold db.mu (it is also the filter passed to PickCompactionFiltered,
+// which invokes it with vs.mu additionally held — db.mu -> vs.mu is the
+// established order).
+func (db *DB) levelRangeFreeLocked(level, outputLevel int) bool {
+	return !db.busyLevels[level] && !db.busyLevels[outputLevel]
+}
+
+// setLevelClaimsLocked claims or releases c's input and output levels.
+// Callers hold db.mu.
+func (db *DB) setLevelClaimsLocked(c *manifest.Compaction, claimed bool) {
+	db.busyLevels[c.Level] = claimed
+	db.busyLevels[c.OutputLevel()] = claimed
 }
 
 // chargeSeek decrements a file's seek allowance after a read had to probe
@@ -277,10 +309,9 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 	})
 	tr := obs.NewTrace()
 	var (
-		outputs  []obs.TableInfo
-		execName string
-		fellBack bool
-		cstats   compaction.Stats
+		outputs []obs.TableInfo
+		route   dispatch.Route
+		cstats  compaction.Stats
 	)
 	defer func() {
 		wall := time.Since(start)
@@ -288,8 +319,10 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 		db.queueEventLocked(func(l obs.EventListener) {
 			l.CompactionEnd(obs.CompactionEndEvent{
 				JobID: jobID, Level: c.Level, OutputLevel: outLevel,
-				Executor: execName, Fallback: fellBack,
-				Inputs: inputs, Outputs: outputs,
+				Executor: route.Executor, Fallback: route.Fallback(),
+				Lane: route.Lane, RouteReason: route.Reason,
+				DeviceAttempts: route.DeviceAttempts,
+				Inputs:         inputs, Outputs: outputs,
 				PairsIn: cstats.PairsIn, PairsOut: cstats.PairsOut,
 				PairsDropped: cstats.PairsDropped,
 				BytesRead:    cstats.BytesRead, BytesWritten: cstats.BytesWritten,
@@ -355,21 +388,15 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 	}
 	openDone()
 
-	// Route to the engine when the fan-in fits, otherwise software
-	// (paper Fig 6).
-	exec := db.opts.Executor
-	if max := exec.MaxRuns(); max > 0 && job.NumRuns() > max {
-		exec = compaction.CPU{}
-		fellBack = true
-	}
-	execName = exec.Name()
-
 	env := &dbEnv{db: db}
 	db.mu.Unlock()
 	db.flushEvents() // let the listener see CompactionBegin before the merge
+	// The dispatch scheduler routes the job between the device channel
+	// pool and the CPU lane (paper Fig 6: fan-in, budget and backpressure
+	// route to software) and owns retry/fallback when a channel faults.
 	mergeDone := tr.StartSpan("merge")
 	var res *compaction.Result
-	res, err = exec.Compact(job, env)
+	res, route, err = db.sched.Execute(job, env)
 	mergeDone()
 	db.mu.Lock()
 	defer func() {
@@ -422,11 +449,11 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 
 	db.stats.Compactions++
 	db.met.compactions.Inc()
-	if exec.Name() == "fcae" {
+	if route.OnDevice() {
 		db.stats.HWCompactions++
 		db.met.hwCompactions.Inc()
 	}
-	if fellBack {
+	if route.Fallback() {
 		db.stats.SWFallbacks++
 		db.met.swFallbacks.Inc()
 	}
@@ -481,7 +508,7 @@ func (db *DB) CompactLevel(level int) error {
 	}
 	db.manualLevel = level
 	db.bgCond.Broadcast()
-	for db.manualLevel >= 0 || db.compactBusy {
+	for db.manualLevel >= 0 || db.compacting > 0 {
 		if db.closed || db.bgErr != nil {
 			return db.bgErr
 		}
@@ -534,7 +561,7 @@ func (db *DB) WaitIdle() error {
 		if db.bgErr != nil || db.closed {
 			return db.bgErr
 		}
-		idle := db.imm == nil && !db.flushBusy && !db.compactBusy &&
+		idle := db.imm == nil && !db.flushBusy && db.compacting == 0 &&
 			db.manualLevel < 0 && db.vs.PickCompaction() == nil
 		if idle {
 			return nil

@@ -12,6 +12,7 @@ import (
 
 	"fcae/internal/cache"
 	"fcae/internal/crc"
+	"fcae/internal/dispatch"
 	"fcae/internal/keys"
 	"fcae/internal/manifest"
 	"fcae/internal/memtable"
@@ -36,6 +37,12 @@ type DB struct {
 	listener   obs.EventListener // nil when no listener is configured
 	reg        *obs.Registry
 	met        dbMetrics
+	// sched routes compaction merges between the device channel pool and
+	// the CPU lane (package dispatch); immutable after Open.
+	sched *dispatch.Scheduler
+	// wg joins the flush worker and every compaction worker; Close waits
+	// on it after the workers observe the closed flag.
+	wg sync.WaitGroup
 	// evMu serializes event delivery to the listener. Lock order is
 	// strictly evMu -> mu (flushEvents); it is never acquired with mu held.
 	//
@@ -59,8 +66,12 @@ type DB struct {
 
 	committing  bool // a group leader is writing the WAL unlocked
 	flushBusy   bool
-	compactBusy bool
+	compacting  int // compaction workers currently running a job
 	manualLevel int // -1 when no manual compaction is requested
+	// busyLevels claims level ranges for in-flight compactions: a worker
+	// marks its job's input and output levels before releasing mu, so
+	// concurrent workers never pick overlapping file sets.
+	busyLevels [manifest.NumLevels]bool
 	// pendingOutputs holds table numbers being written by an in-flight
 	// compaction so the obsolete-file sweep does not reap them before
 	// their version edit lands.
@@ -126,6 +137,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	bc := cache.New(opts.BlockCacheBytes)
 	reg := obs.NewRegistry()
+	sched, err := dispatch.New(dispatch.Config{
+		Devices:  opts.deviceExecutors(),
+		Injector: opts.FaultInjector,
+		Tuning:   opts.Dispatch,
+	})
+	if err != nil {
+		_ = vs.Close()
+		return nil, err
+	}
 	db := &DB{
 		dir:            dir,
 		opts:           opts,
@@ -135,6 +155,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		listener:       opts.EventListener,
 		reg:            reg,
 		met:            newDBMetrics(reg),
+		sched:          sched,
 		snapshots:      make(map[uint64]int),
 		seq:            vs.LastSeq(),
 		memSeed:        opts.SkiplistSeed,
@@ -150,22 +171,22 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.mu.Lock()
 	db.mem = memtable.New(db.nextMemSeedLocked())
 
-	if err := db.recoverWALs(); err != nil {
+	fail := func(err error) (*DB, error) {
 		db.mu.Unlock()
+		_ = db.sched.Close()
 		_ = vs.Close()
 		return nil, err
 	}
+	if err := db.recoverWALs(); err != nil {
+		return fail(err)
+	}
 	if err := db.newWALLocked(); err != nil {
-		db.mu.Unlock()
-		_ = vs.Close()
-		return nil, err
+		return fail(err)
 	}
 	// Flush recovered entries so the replayed logs can be dropped.
 	if !db.mem.Empty() {
 		if err := db.flushMem(db.mem, db.nextJobIDLocked()); err != nil {
-			db.mu.Unlock()
-			_ = vs.Close()
-			return nil, err
+			return fail(err)
 		}
 		db.mem = memtable.New(db.nextMemSeedLocked())
 	}
@@ -173,8 +194,12 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.mu.Unlock()
 	db.flushEvents() // recovery flush + obsolete-file events
 
+	db.wg.Add(1)
 	go db.flushWorker()
-	go db.compactWorker()
+	for i := 0; i < opts.CompactionWorkers; i++ {
+		db.wg.Add(1)
+		go db.compactWorker()
+	}
 	return db, nil
 }
 
@@ -577,6 +602,12 @@ func (db *DB) Stats() Stats {
 	return db.stats
 }
 
+// DispatchStats returns a snapshot of the offload scheduler's routing
+// counters (per-lane jobs, faults, retries, fallback reasons).
+func (db *DB) DispatchStats() dispatch.Stats {
+	return db.sched.Stats()
+}
+
 // LevelFiles returns the file count per level.
 func (db *DB) LevelFiles() [manifest.NumLevels]int {
 	v := db.vs.Current()
@@ -607,7 +638,7 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.bgCond.Broadcast()
-	for db.flushBusy || db.compactBusy || db.committing {
+	for db.flushBusy || db.compacting > 0 || db.committing {
 		db.bgCond.Wait()
 	}
 	err := db.bgErr
@@ -621,8 +652,14 @@ func (db *DB) Close() error {
 		db.walFile = nil
 	}
 	db.mu.Unlock()
-	// The workers have exited (busy flags clear); drain any events they
-	// queued on the way out so Close guarantees full delivery.
+	// Join the flush and compaction workers before tearing down the state
+	// they use; the busy counters above only prove no job is mid-flight.
+	db.wg.Wait()
+	if e := db.sched.Close(); e != nil && err == nil {
+		err = e
+	}
+	// The workers have exited; drain any events they queued on the way out
+	// so Close guarantees full delivery.
 	db.flushEvents()
 	db.tables.close()
 	if e := db.vs.Close(); e != nil && err == nil {

@@ -1,0 +1,326 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"fcae/internal/compaction"
+	"fcae/internal/core"
+	"fcae/internal/dispatch"
+	"fcae/internal/obs"
+)
+
+// newDeviceChannels builds n independent FCAE engine instances, one per
+// simulated device channel.
+func newDeviceChannels(t *testing.T, n int) []compaction.Executor {
+	t.Helper()
+	devs := make([]compaction.Executor, n)
+	for i := range devs {
+		exec, err := core.NewExecutor(core.MultiInputConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = exec
+	}
+	return devs
+}
+
+// overlapListener tracks how many non-trivial compactions are in flight at
+// once. Events are sequenced under db.mu in state-machine order, so seeing
+// a second CompactionBegin before the first job's CompactionEnd proves the
+// two merges were genuinely concurrent.
+type overlapListener struct {
+	obs.NoopListener
+
+	mu     sync.Mutex
+	active map[uint64]bool
+	peak   int
+}
+
+func (o *overlapListener) CompactionBegin(e obs.CompactionBeginEvent) {
+	if e.TrivialMove {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.active == nil {
+		o.active = make(map[uint64]bool)
+	}
+	o.active[e.JobID] = true
+	if len(o.active) > o.peak {
+		o.peak = len(o.active)
+	}
+}
+
+func (o *overlapListener) CompactionEnd(e obs.CompactionEndEvent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.active, e.JobID)
+}
+
+func (o *overlapListener) Peak() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.peak
+}
+
+// TestCompactionConcurrency proves that with two device channels, two
+// workers and no faults, merge compactions overlap in time (the tentpole's
+// scaling claim: throughput scales with channels).
+func TestCompactionConcurrency(t *testing.T) {
+	ol := &overlapListener{}
+	opts := Options{
+		MemTableBytes:      16 << 10,
+		BaseLevelBytes:     32 << 10,
+		MaxOutputFileBytes: 16 << 10,
+		BlockCacheBytes:    1 << 20,
+		CompactionWorkers:  2,
+		DeviceExecutors:    newDeviceChannels(t, 2),
+		// Benign latency on every device merge widens the overlap window
+		// without introducing any fault (0% error rate).
+		FaultInjector: dispatch.NewProbInjector(1, 0).WithSlow(1.0, 20*time.Millisecond),
+		EventListener: ol,
+	}
+	db := openTest(t, opts)
+
+	rng := rand.New(rand.NewSource(42))
+	val := make([]byte, 512)
+	deadline := time.Now().Add(60 * time.Second)
+	for round := 0; ol.Peak() < 2; round++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no overlapping compactions after %d rounds (peak=%d)", round, ol.Peak())
+		}
+		for i := 0; i < 200; i++ {
+			rng.Read(val)
+			k := []byte(fmt.Sprintf("key%07d", rng.Intn(1<<16)))
+			if err := db.Put(k, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	ds := db.DispatchStats()
+	if ds.DeviceJobs == 0 {
+		t.Fatalf("dispatch stats = %+v, want device jobs > 0", ds)
+	}
+	t.Logf("peak concurrent compactions = %d, dispatch = %+v", ol.Peak(), ds)
+}
+
+// TestFaultInjectionIntegrity runs the acceptance scenario: 20%% device
+// fault rate (errors, mid-merge write failures, stalls) across two
+// channels and two workers, with retries disabled so every fault degrades
+// to the CPU lane. Every key must survive, including across a reopen, and
+// the metrics must show CPU-fallback routings.
+func TestFaultInjectionIntegrity(t *testing.T) {
+	dir := t.TempDir()
+	mkOpts := func() Options {
+		return Options{
+			MemTableBytes:      16 << 10,
+			BaseLevelBytes:     32 << 10,
+			MaxOutputFileBytes: 16 << 10,
+			BlockCacheBytes:    1 << 20,
+			CompactionWorkers:  2,
+			DeviceExecutors:    newDeviceChannels(t, 2),
+			FaultInjector:      dispatch.NewProbInjector(7, 0.2),
+			Dispatch: dispatch.Tuning{
+				DeviceDeadline:   25 * time.Millisecond,
+				RetryBackoff:     time.Millisecond,
+				MaxDeviceRetries: -1, // every fault falls straight back to CPU
+			},
+		}
+	}
+	db, err := Open(dir, mkOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = db.Close() }()
+
+	rng := rand.New(rand.NewSource(99))
+	model := map[string]string{}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key%05d", i)) }
+	const keySpace = 1500
+
+	// Keep writing rounds (overwrites and deletes included) until the
+	// injector has demonstrably faulted device attempts and the scheduler
+	// has routed fallbacks, then a few more rounds for good measure.
+	deadline := time.Now().Add(90 * time.Second)
+	for round := 0; ; round++ {
+		for i := 0; i < 600; i++ {
+			n := rng.Intn(keySpace)
+			k := key(n)
+			if rng.Intn(10) == 0 {
+				if err := db.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, string(k))
+				continue
+			}
+			v := make([]byte, 64+rng.Intn(192))
+			rng.Read(v)
+			if err := db.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = string(v)
+		}
+		ds := db.DispatchStats()
+		if round >= 3 && ds.Faults > 0 && ds.FallbackFault > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fault injection never fired: dispatch = %+v", ds)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify := func(stage string, d *DB) {
+		t.Helper()
+		for i := 0; i < keySpace; i++ {
+			k := key(i)
+			got, err := d.Get(k)
+			want, ok := model[string(k)]
+			switch {
+			case !ok && err != ErrNotFound:
+				t.Fatalf("%s: Get(%s) = %v, want ErrNotFound", stage, k, err)
+			case ok && err != nil:
+				t.Fatalf("%s: Get(%s) = %v, want value", stage, k, err)
+			case ok && string(got) != want:
+				t.Fatalf("%s: Get(%s) returned wrong value (%d bytes, want %d)", stage, k, len(got), len(want))
+			}
+		}
+	}
+	verify("live", db)
+
+	ds := db.DispatchStats()
+	st := db.Stats()
+	if ds.Faults == 0 || ds.FallbackFault == 0 || st.SWFallbacks == 0 {
+		t.Fatalf("expected faults and CPU fallbacks, dispatch = %+v, SWFallbacks = %d", ds, st.SWFallbacks)
+	}
+	m := db.Metrics()
+	if m.Gauges["dispatch_fallback_fault"] == 0 {
+		t.Fatalf("dispatch_fallback_fault gauge = 0, want > 0")
+	}
+	t.Logf("dispatch = %+v", ds)
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without fault injection: everything must still be there.
+	re, err := Open(dir, Options{BlockCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	verify("reopen", re)
+}
+
+// TestDispatchStress is the -race stress scenario run explicitly by CI:
+// concurrent writers and readers over a faulty two-channel device pool
+// with two compaction workers, then full verification.
+func TestDispatchStress(t *testing.T) {
+	opts := Options{
+		MemTableBytes:      16 << 10,
+		BaseLevelBytes:     32 << 10,
+		MaxOutputFileBytes: 16 << 10,
+		BlockCacheBytes:    1 << 20,
+		CompactionWorkers:  2,
+		DeviceExecutors:    newDeviceChannels(t, 2),
+		FaultInjector:      dispatch.NewProbInjector(3, 0.3),
+		Dispatch: dispatch.Tuning{
+			DeviceDeadline:   20 * time.Millisecond,
+			RetryBackoff:     time.Millisecond,
+			MaxDeviceRetries: 1,
+		},
+	}
+	db := openTest(t, opts)
+
+	const (
+		writers = 4
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	value := func(g, i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + g)}, 120+(i%80))
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := []byte(fmt.Sprintf("s%d-key%06d", g, i))
+				if err := db.Put(k, value(g, i)); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Readers race the writers; any value observed must be well-formed.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 2000; i++ {
+				g, n := rng.Intn(writers), rng.Intn(perG)
+				v, err := db.Get([]byte(fmt.Sprintf("s%d-key%06d", g, n)))
+				if err == nil && !bytes.Equal(v, value(g, n)) {
+					t.Errorf("reader saw torn value for s%d-key%06d", g, n)
+					return
+				}
+				if err != nil && err != ErrNotFound {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perG; i++ {
+			k := []byte(fmt.Sprintf("s%d-key%06d", g, i))
+			v, err := db.Get(k)
+			if err != nil {
+				t.Fatalf("Get(%s) = %v after idle", k, err)
+			}
+			if !bytes.Equal(v, value(g, i)) {
+				t.Fatalf("Get(%s) returned wrong value", k)
+			}
+		}
+	}
+	t.Logf("dispatch = %+v, stats fallbacks = %d", db.DispatchStats(), db.Stats().SWFallbacks)
+}
+
+// TestDispatchOptionValidation covers the new Options error paths.
+func TestDispatchOptionValidation(t *testing.T) {
+	devs := newDeviceChannels(t, 1)
+	cases := []Options{
+		{CompactionWorkers: -1},
+		{Executor: devs[0], DeviceExecutors: devs},
+		{FaultInjector: dispatch.NewProbInjector(1, 0.5)}, // no devices to fault
+		{Dispatch: dispatch.Tuning{QueueDepth: -1}},
+	}
+	for i, o := range cases {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	ok := Options{DeviceExecutors: devs, CompactionWorkers: 2,
+		FaultInjector: dispatch.NewProbInjector(1, 0.1)}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid dispatch options rejected: %v", err)
+	}
+}

@@ -170,8 +170,15 @@ func (db *DB) registerGauges() {
 	r.GaugeFunc("table_cache_hit_ratio", func() float64 {
 		return hitRatio(db.tables.stats())
 	})
-	if p, ok := db.opts.Executor.(obs.MetricsPublisher); ok {
-		p.PublishMetrics(r)
+	db.sched.PublishMetrics(r)
+	// Engine totals: channel 0 publishes under the plain engine_* names
+	// (the historical single-executor layout); further channels would
+	// collide on those names, so only the first publisher registers.
+	for _, exec := range db.opts.deviceExecutors() {
+		if p, ok := exec.(obs.MetricsPublisher); ok {
+			p.PublishMetrics(r)
+			break
+		}
 	}
 }
 

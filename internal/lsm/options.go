@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"fcae/internal/compaction"
+	"fcae/internal/dispatch"
 	"fcae/internal/manifest"
 	"fcae/internal/obs"
 	"fcae/internal/sstable"
@@ -58,8 +59,27 @@ type Options struct {
 	L0StopTrigger int
 	// Executor performs compaction merges; nil selects the software
 	// executor (compaction.CPU). Jobs whose fan-in exceeds
-	// Executor.MaxRuns fall back to software, the paper's §VI-A rule.
+	// Executor.MaxRuns fall back to software, the paper's §VI-A rule. A
+	// non-CPU Executor becomes a single device channel on the dispatch
+	// scheduler; use DeviceExecutors to configure more channels.
 	Executor compaction.Executor
+	// DeviceExecutors configures the dispatch scheduler's device channel
+	// pool, one executor instance per simulated compaction unit (instances
+	// must not be shared between channels). Mutually exclusive with
+	// Executor.
+	DeviceExecutors []compaction.Executor
+	// CompactionWorkers is the number of concurrent compaction worker
+	// goroutines feeding the scheduler (default 1). Workers pick
+	// non-overlapping level ranges under the store mutex, so N workers can
+	// keep N device channels busy.
+	CompactionWorkers int
+	// FaultInjector, when non-nil, injects device faults into every
+	// device-channel attempt (see package dispatch). Requires at least one
+	// device channel.
+	FaultInjector dispatch.FaultInjector
+	// Dispatch tunes the offload scheduler's queue depth, deadline, retry
+	// and budget policy; the zero value selects the dispatch defaults.
+	Dispatch dispatch.Tuning
 	// SyncWrites fsyncs the WAL on every commit.
 	SyncWrites bool
 	// SkiplistSeed fixes memtable randomness for reproducible tests.
@@ -98,6 +118,17 @@ func (o Options) Validate() error {
 		return neg("L0StopTrigger", int64(o.L0StopTrigger))
 	case o.TieredRuns < 0:
 		return neg("TieredRuns", int64(o.TieredRuns))
+	case o.CompactionWorkers < 0:
+		return neg("CompactionWorkers", int64(o.CompactionWorkers))
+	}
+	if o.Executor != nil && len(o.DeviceExecutors) > 0 {
+		return fmt.Errorf("lsm: invalid Options: Executor and DeviceExecutors are mutually exclusive; put every channel in DeviceExecutors")
+	}
+	if o.FaultInjector != nil && len(o.deviceExecutors()) == 0 {
+		return fmt.Errorf("lsm: invalid Options: FaultInjector set but no device executors are configured; there is no device to fault")
+	}
+	if err := o.Dispatch.Validate(); err != nil {
+		return fmt.Errorf("lsm: invalid Options: %w", err)
 	}
 	if o.DisableCompression && o.Compression == sstable.SnappyCompression {
 		return fmt.Errorf("lsm: invalid Options: DisableCompression set but Compression requests snappy")
@@ -166,10 +197,30 @@ func (o Options) withDefaults() Options {
 	if o.Executor == nil {
 		o.Executor = compaction.CPU{}
 	}
+	if o.CompactionWorkers <= 0 {
+		o.CompactionWorkers = 1
+	}
 	if o.SkiplistSeed == 0 {
 		o.SkiplistSeed = 0xfcae
 	}
 	return o
+}
+
+// deviceExecutors resolves the scheduler's device channel pool: an
+// explicit DeviceExecutors list wins; otherwise a non-CPU Executor becomes
+// a single channel; a CPU (or nil) Executor means no devices at all, so
+// every merge runs on the scheduler's CPU lane.
+func (o Options) deviceExecutors() []compaction.Executor {
+	if len(o.DeviceExecutors) > 0 {
+		return o.DeviceExecutors
+	}
+	if o.Executor == nil {
+		return nil
+	}
+	if _, isCPU := o.Executor.(compaction.CPU); isCPU {
+		return nil
+	}
+	return []compaction.Executor{o.Executor}
 }
 
 func (o Options) tableOpts() sstable.Options {

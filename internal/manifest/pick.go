@@ -140,15 +140,27 @@ func (c *Compaction) IsBottomLevel(v *Version) bool {
 // compactPointers rotate through each level's key space so work spreads
 // evenly.
 func (vs *VersionSet) PickCompaction() *Compaction {
+	return vs.PickCompactionFiltered(nil)
+}
+
+// PickCompactionFiltered is PickCompaction restricted to levels the caller
+// accepts: allowed is consulted with each candidate's input and output
+// level, and rejected levels are skipped in score order. Concurrent
+// compaction workers use it to pick non-overlapping level ranges while one
+// or more jobs are already in flight; nil means no restriction.
+func (vs *VersionSet) PickCompactionFiltered(allowed func(level, outputLevel int) bool) *Compaction {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	v := vs.current
 
 	if vs.cfg.TieredRuns > 0 {
-		return vs.pickTiered(v)
+		return vs.pickTiered(v, allowed)
 	}
 	bestLevel, bestScore := -1, 0.0
 	for level := 0; level < NumLevels-1; level++ {
+		if allowed != nil && !allowed(level, level+1) {
+			continue
+		}
 		var score float64
 		if level == 0 {
 			score = float64(len(v.Levels[0])) / float64(vs.cfg.L0CompactionTrigger)
@@ -165,14 +177,28 @@ func (vs *VersionSet) PickCompaction() *Compaction {
 	return vs.buildCompactionLocked(v, bestLevel)
 }
 
+// tieredOutputLevel mirrors Compaction.OutputLevel for a tiered merge of
+// level before the Compaction exists.
+func tieredOutputLevel(level int) int {
+	if level == NumLevels-1 {
+		return level
+	}
+	return level + 1
+}
+
 // pickTiered selects a full-level merge when a level's run count reaches
 // the tiering threshold. L0 keeps its file-count trigger.
-func (vs *VersionSet) pickTiered(v *Version) *Compaction {
+func (vs *VersionSet) pickTiered(v *Version, allowed func(level, outputLevel int) bool) *Compaction {
 	bestLevel, bestScore := -1, 0.0
-	if sc := float64(len(v.Levels[0])) / float64(vs.cfg.L0CompactionTrigger); sc > bestScore {
-		bestLevel, bestScore = 0, sc
+	if allowed == nil || allowed(0, 1) {
+		if sc := float64(len(v.Levels[0])) / float64(vs.cfg.L0CompactionTrigger); sc > bestScore {
+			bestLevel, bestScore = 0, sc
+		}
 	}
 	for level := 1; level < NumLevels; level++ {
+		if allowed != nil && !allowed(level, tieredOutputLevel(level)) {
+			continue
+		}
 		sc := float64(v.NumRuns(level)) / float64(vs.cfg.TieredRuns)
 		if sc > bestScore {
 			bestLevel, bestScore = level, sc

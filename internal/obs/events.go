@@ -99,11 +99,21 @@ type CompactionEndEvent struct {
 	// Executor is the backend that ran the merge ("cpu" or "fcae"); empty
 	// for trivial moves.
 	Executor string
-	// Fallback is set when the job exceeded the engine's input limit and
-	// ran in software (paper §VI-A).
+	// Fallback is set when the job was routed to the CPU lane despite
+	// device channels being configured (paper §VI-A fan-in overflow, queue
+	// backpressure, image budget, or device fault).
 	Fallback bool
-	Inputs   []TableInfo
-	Outputs  []TableInfo
+	// Lane names the dispatch lane that completed the merge ("device-<i>"
+	// or "cpu"); empty for trivial moves and pre-dispatch configurations.
+	Lane string
+	// RouteReason explains a CPU routing ("fanin", "image-budget",
+	// "saturated", "device-fault", "no-device"); empty when the job ran on
+	// a device.
+	RouteReason string
+	// DeviceAttempts counts device-lane attempts, including faulted ones.
+	DeviceAttempts int
+	Inputs         []TableInfo
+	Outputs        []TableInfo
 	// PairsIn/PairsOut/PairsDropped count key-value pairs merged and
 	// dropped by the shadowing rules.
 	PairsIn      int

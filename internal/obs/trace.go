@@ -65,6 +65,9 @@ type TraceRecord struct {
 	Executor      string   `json:"executor,omitempty"`
 	TrivialMove   bool     `json:"trivial_move,omitempty"`
 	Fallback      bool     `json:"sw_fallback,omitempty"`
+	Lane          string   `json:"lane,omitempty"`
+	RouteReason   string   `json:"route_reason,omitempty"`
+	DeviceTries   int      `json:"device_attempts,omitempty"`
 	Inputs        []uint64 `json:"inputs,omitempty"`
 	Outputs       []uint64 `json:"outputs,omitempty"`
 	PairsIn       int      `json:"pairs_in"`
@@ -88,6 +91,9 @@ func NewTraceRecord(e CompactionEndEvent) TraceRecord {
 		Executor:      e.Executor,
 		TrivialMove:   e.TrivialMove,
 		Fallback:      e.Fallback,
+		Lane:          e.Lane,
+		RouteReason:   e.RouteReason,
+		DeviceTries:   e.DeviceAttempts,
 		PairsIn:       e.PairsIn,
 		PairsOut:      e.PairsOut,
 		PairsDropped:  e.PairsDropped,
