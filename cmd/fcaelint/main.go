@@ -46,6 +46,9 @@ type jsonDiag struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Category is the analyzer's machine-readable finding class (e.g.
+	// hotalloc's "make"/"append"/"box"), when the analyzer assigns one.
+	Category string `json:"category,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -151,6 +154,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Col:      d.Pos.Column,
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
+				Category: d.Category,
 			})
 		}
 		enc := json.NewEncoder(stdout)

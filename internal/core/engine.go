@@ -106,8 +106,12 @@ type lane struct {
 	tableIdx int
 	index    indexStream
 	blocks   int // blocks remaining in current table's index
-	it       *sstable.BlockIter
-	decomp   []byte
+	// it is the lane's persistent block iterator, Reset onto each new
+	// data block so the decode loop does no per-block parse allocation;
+	// itLive marks whether it currently holds undrained entries.
+	it     *sstable.BlockIter
+	itLive bool
+	decomp []byte
 
 	key, value []byte
 	live       bool
@@ -174,8 +178,12 @@ func (e *Engine) Run(inputs []*InputImage, p Params) (*Result, error) {
 
 	lanes := make([]*lane, len(inputs))
 	res := &Result{}
+	// One backing array for every lane's FIFO occupancy history: the
+	// per-lane windows are fixed-size slices of it, so lane setup does
+	// one allocation instead of one per input run.
+	histBacking := make([]float64, len(inputs)*e.cfg.FIFODepth)
 	for i, img := range inputs {
-		l := &lane{img: img, tableIdx: -1, hist: make([]float64, e.cfg.FIFODepth)}
+		l := &lane{img: img, tableIdx: -1, hist: histBacking[i*e.cfg.FIFODepth : (i+1)*e.cfg.FIFODepth]}
 		// Initial index fetch latency before the first pair can decode.
 		l.decClock = float64(e.cfg.DRAMLatencyCycles)
 		if err := e.advance(l, -1); err != nil {
@@ -250,6 +258,7 @@ func (e *Engine) Run(inputs []*InputImage, p Params) (*Result, error) {
 			res.Stats.PairsOut++
 		}
 		if p.TraceWriter != nil && res.Stats.PairsIn <= traceLimit {
+			//fcae:alloc-ok trace is off in production (TraceWriter nil) and bounded by traceLimit rows when on
 			fmt.Fprintf(p.TraceWriter, "%d,%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%v\n",
 				res.Stats.PairsIn, winner, len(w.key), len(w.value),
 				ready, start, cmpClock, xferClock, encClock, dropped)
@@ -290,7 +299,7 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 		l.pushConsume(consumeTime)
 	}
 	for {
-		if l.it != nil {
+		if l.itLive {
 			l.it.Next()
 			if l.it.Valid() {
 				l.setPair(e.cfg)
@@ -299,7 +308,7 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 			if err := l.it.Error(); err != nil {
 				return err
 			}
-			l.it = nil
+			l.itLive = false
 		}
 		// Need the next data block.
 		if l.blocks == 0 {
@@ -343,15 +352,19 @@ func (e *Engine) advance(l *lane, consumeTime float64) error {
 		default:
 			return fmt.Errorf("%w: unknown block compression %d", ErrLayout, ctype)
 		}
-		it, err := sstable.NewBlockIter(contents)
-		if err != nil {
+		if l.it == nil {
+			l.it, err = sstable.NewBlockIter(contents)
+			if err != nil {
+				return err
+			}
+		} else if err := l.it.Reset(contents); err != nil {
 			return err
 		}
-		it.SeekToFirst()
-		if !it.Valid() {
+		l.it.SeekToFirst()
+		if !l.it.Valid() {
 			continue // empty block: skip
 		}
-		l.it = it
+		l.itLive = true
 		// Block switch: index fetch (hidden or serialized per §V-B) plus
 		// the DRAM burst for the block itself.
 		l.decClock += e.cfg.blockSwitchCycles()
@@ -445,6 +458,7 @@ func (o *outputBuilder) add(ikey, value []byte) (float64, error) {
 		o.wantClose = false
 	}
 	if o.cur == nil {
+		//fcae:alloc-ok table bound is retained output: one copy per output table, not per pair
 		o.cur = &OutputTableImage{Smallest: append([]byte(nil), ikey...)}
 		o.curous = 0
 	}
@@ -452,6 +466,7 @@ func (o *outputBuilder) add(ikey, value []byte) (float64, error) {
 	o.blockEntries++
 	o.last = append(o.last[:0], ikey...)
 	if o.p.CollectFilterKeys {
+		//fcae:alloc-ok filter keys are retained output handed to the host assembler; each copy outlives the loop
 		o.cur.FilterKeys = append(o.cur.FilterKeys, append([]byte(nil), keys.UserKey(ikey)...))
 	}
 	o.cur.Entries++
@@ -471,22 +486,24 @@ func (o *outputBuilder) flushBlock() float64 {
 	if o.bw.Empty() {
 		return 0
 	}
+	// BlockWriter.Finish already hands back a fresh copy, so the
+	// uncompressed path retains contents directly; only the compressed
+	// path copies (cbuf is scratch reused across blocks).
 	contents := o.bw.Finish()
 	ctype := byte(sstable.NoCompression)
 	payload := contents
 	if o.p.Compress {
 		o.cbuf = snappy.Encode(o.cbuf[:0], contents)
 		if len(o.cbuf) < len(contents)-len(contents)/8 {
+			//fcae:alloc-ok the compressed payload is retained output; cbuf itself is reused scratch
 			payload = append([]byte(nil), o.cbuf...)
 			ctype = byte(sstable.SnappyCompression)
 		}
 	}
-	if ctype == byte(sstable.NoCompression) {
-		payload = append([]byte(nil), contents...)
-	}
 	o.cur.Blocks = append(o.cur.Blocks, OutputBlock{
-		CType:    ctype,
-		Payload:  payload,
+		CType:   ctype,
+		Payload: payload,
+		//fcae:alloc-ok block last-key is retained output: one copy per flushed block
 		LastKey:  append([]byte(nil), o.last...),
 		RawBytes: len(contents),
 		Entries:  o.blockEntries,
@@ -500,6 +517,7 @@ func (o *outputBuilder) closeTable() {
 	if o.cur == nil {
 		return
 	}
+	//fcae:alloc-ok table bound is retained output: one copy per closed table
 	o.cur.Largest = append([]byte(nil), o.last...)
 	o.tables = append(o.tables, o.cur)
 	o.cur = nil

@@ -180,7 +180,10 @@ type request struct {
 	// dequeued ends the job's dispatch_queue trace span; the channel
 	// calls it once at pickup.
 	dequeued func()
-	done     chan deviceResult
+	// done is send-only from the request's perspective: the channel
+	// goroutine (or Close's drain) resolves it exactly once; only the
+	// Execute call that made the channel receives.
+	done chan<- deviceResult
 }
 
 type deviceResult struct {
@@ -259,6 +262,12 @@ func (s *Scheduler) MaxRuns() int { return s.maxRuns }
 
 // Close stops the channel goroutines and fails stranded requests. Safe to
 // call twice. In-flight Execute calls return ErrClosed.
+//
+// New makes s.stop, but shutdown is Close's one job: closing the stop
+// channel here is the designed hand-off, declared below so chanflow
+// holds every other close site to the owner rule.
+//
+//fcae:chan-owner dispatch.Scheduler.stop
 func (s *Scheduler) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -310,11 +319,12 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 				return nil, route, ErrClosed
 			}
 		}
+		done := make(chan deviceResult, 1)
 		req := &request{
 			job:      job,
 			env:      env,
 			dequeued: job.Trace.StartSpan("dispatch_queue"),
-			done:     make(chan deviceResult, 1),
+			done:     done,
 		}
 		if attempt == 0 {
 			// First admission never blocks: a saturated device pool means
@@ -336,7 +346,7 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 		route.DeviceAttempts++
 		var r deviceResult
 		select {
-		case r = <-req.done:
+		case r = <-done:
 		case <-s.stop:
 			return nil, route, ErrClosed
 		}

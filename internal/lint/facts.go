@@ -132,6 +132,17 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportCat records a finding with a machine-readable category (the
+// fcaelint -json "category" field).
+func (p *ModulePass) ReportCat(pos token.Pos, category, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Module.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Category: category,
+	})
+}
+
 // namedOf unwraps pointers to the defined type beneath t, or nil.
 func namedOf(t types.Type) *types.Named {
 	for {

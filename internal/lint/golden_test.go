@@ -20,6 +20,8 @@ var goldenAnalyzers = map[string]*lint.Analyzer{
 	"devmem":    lint.DevMem,
 	"taint":     lint.Taint,
 	"goleak":    lint.GoLeak,
+	"chanflow":  lint.ChanFlow,
+	"hotalloc":  lint.HotAlloc,
 }
 
 // TestGoldenCorpus loads every fixture module under testdata/<analyzer>/

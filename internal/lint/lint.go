@@ -24,10 +24,13 @@ import (
 )
 
 // Diagnostic is one finding, printed as file:line:col: analyzer: message.
+// Category, when set, is a stable machine-readable finding class within
+// the analyzer (surfaced by fcaelint -json; not part of the text format).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Category string
 }
 
 func (d Diagnostic) String() string {
@@ -69,7 +72,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow,
-		LockOrder, DevMem, Taint, GoLeak,
+		LockOrder, DevMem, Taint, GoLeak, ChanFlow, HotAlloc,
 	}
 }
 

@@ -1,0 +1,53 @@
+// Fixture: blocking channel operations while a mutex is held — directly,
+// and through a call chain the per-function summaries must follow.
+// publishLater unlocks before sending, which is the fix and must stay
+// silent.
+package chanunderlock
+
+import "sync"
+
+type Hub struct {
+	mu   sync.Mutex
+	subs chan int
+	seq  int
+}
+
+func newHub() *Hub {
+	return &Hub{subs: make(chan int, 1)}
+}
+
+// publish sends while holding mu: every other path into the lock now
+// waits on a channel consumer.
+func (h *Hub) publish(v int) {
+	h.mu.Lock()
+	h.seq++
+	h.subs <- v
+	h.mu.Unlock()
+}
+
+// waitOne blocks on a receive under the same lock.
+func (h *Hub) waitOne() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.subs
+}
+
+// forward only looks guilty through the summary: emit blocks on a send,
+// and forward calls it with mu held.
+func (h *Hub) forward(v int) {
+	h.mu.Lock()
+	h.emit(v)
+	h.mu.Unlock()
+}
+
+func (h *Hub) emit(v int) {
+	h.subs <- v
+}
+
+// publishLater is the compliant shape: drop the lock, then block.
+func (h *Hub) publishLater(v int) {
+	h.mu.Lock()
+	h.seq++
+	h.mu.Unlock()
+	h.subs <- v
+}

@@ -1,0 +1,71 @@
+// Fixture: the discipline chanflow wants, end to end. New owns both
+// channels; Close holds the declared //fcae:chan-owner grant for stop;
+// the worker's send selects on the stop channel; the results field is
+// declared send-only because the type only ever produces into it.
+package clean
+
+import "sync"
+
+type Pool struct {
+	mu      sync.Mutex
+	jobs    chan int
+	stop    chan struct{}
+	results chan<- int
+	n       int
+}
+
+func New(results chan<- int) *Pool {
+	return &Pool{
+		jobs:    make(chan int, 8),
+		stop:    make(chan struct{}),
+		results: results,
+	}
+}
+
+func (p *Pool) enqueue(j int) bool {
+	for i := 0; i < 3; i++ {
+		select {
+		case p.jobs <- j:
+			return true
+		case <-p.stop:
+			return false
+		}
+	}
+	return false
+}
+
+func (p *Pool) tryEnqueue(j int) bool {
+	for {
+		select {
+		case p.jobs <- j:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	for j := range p.jobs {
+		select {
+		case p.results <- j * 2:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// count touches state under the mutex without any channel traffic; the
+// channel ops above happen lock-free.
+func (p *Pool) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Close shuts the pool down.
+//
+//fcae:chan-owner clean.Pool.stop
+func (p *Pool) Close() {
+	close(p.stop)
+}

@@ -1,0 +1,43 @@
+// Fixture: close-by-non-owner, three ways. start makes the queue, but
+// Shutdown closes it without a grant; Drain closes it under a directive
+// naming the wrong channel (dangling key, its own finding); and a
+// package-level channel made in init is closed by a helper.
+package closenonowner
+
+type Worker struct {
+	queue chan string
+}
+
+func start() *Worker {
+	w := &Worker{}
+	w.queue = make(chan string, 4)
+	go func() {
+		for s := range w.queue {
+			_ = s
+		}
+	}()
+	return w
+}
+
+// Shutdown closes a channel it never made.
+func (w *Worker) Shutdown() {
+	close(w.queue)
+}
+
+// Drain declares ownership of a channel that does not exist, so the
+// grant dangles and the close below is still unlicensed.
+//
+//fcae:chan-owner closenonowner.Worker.requests
+func (w *Worker) Drain() {
+	close(w.queue)
+}
+
+var events chan int
+
+func setup() {
+	events = make(chan int)
+}
+
+func teardown() {
+	close(events)
+}

@@ -1,0 +1,24 @@
+// Fixture: bidirectional fields the module uses one-sidedly. results is
+// only ever sent to (close counts as the send side), requests only ever
+// received from — both should declare a direction. handed escapes into a
+// helper and must not be flagged: the analyzer cannot see the callee's
+// side of the aliased channel.
+package direction
+
+type Courier struct {
+	results  chan int
+	requests chan int
+	handed   chan int
+}
+
+func run(c *Courier) {
+	c.results <- 1
+	close(c.results)
+	v := <-c.requests
+	_ = v
+	hand(c.handed)
+}
+
+func hand(ch chan int) {
+	ch <- 9
+}

@@ -1,0 +1,60 @@
+// Fixture: worker-loop sends that ignore the type's stop channel. The
+// bare send blocks forever once the consumer is gone; the select without
+// a stop case or default is no better. tick's select is compliant and
+// must stay silent.
+package sendnostop
+
+type Feeder struct {
+	out  chan int
+	ack  chan int
+	stop chan struct{}
+}
+
+func newFeeder() *Feeder {
+	return &Feeder{
+		out:  make(chan int),
+		ack:  make(chan int),
+		stop: make(chan struct{}),
+	}
+}
+
+// pump sends bare inside its loop: on shutdown it wedges or panics.
+func (f *Feeder) pump() {
+	for i := 0; ; i++ {
+		f.out <- i
+	}
+}
+
+// relay selects, but every case is a send; nothing lets it observe stop.
+func (f *Feeder) relay(other chan int) {
+	for i := 0; ; i++ {
+		select {
+		case f.out <- i:
+		case f.ack <- i:
+		}
+	}
+}
+
+// tick is the compliant shape.
+func (f *Feeder) tick() {
+	for i := 0; ; i++ {
+		select {
+		case f.out <- i:
+		case <-f.stop:
+			return
+		}
+	}
+}
+
+// consume keeps both data channels genuinely bidirectional so the only
+// findings here are the send-discipline ones.
+func (f *Feeder) consume() (int, int) {
+	return <-f.out, <-f.ack
+}
+
+// Close owns the shutdown signal.
+//
+//fcae:chan-owner sendnostop.Feeder.stop
+func (f *Feeder) Close() {
+	close(f.stop)
+}

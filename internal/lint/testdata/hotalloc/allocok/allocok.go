@@ -1,0 +1,22 @@
+// Fixture: deliberate hot-path allocations, each justified in place.
+// Same-line and line-above directive placements both count; with every
+// site suppressed the case is clean.
+package allocok
+
+type batcher struct {
+	out [][]byte
+}
+
+// flush is the cycle-accounted path; the copies are retained output, so
+// the allocations are the point, not an accident.
+//
+//fcae:cycle-accounting
+func (b *batcher) flush(rows [][]byte) {
+	for _, r := range rows {
+		//fcae:alloc-ok retained output: the caller keeps every row copy
+		cp := append([]byte(nil), r...)
+		scratch := make([]byte, len(r)) //fcae:alloc-ok grow-once demo: sized per row for the fixture
+		copy(scratch, cp)
+		b.out = append(b.out, cp)
+	}
+}

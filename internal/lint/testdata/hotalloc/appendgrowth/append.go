@@ -1,0 +1,27 @@
+// Fixture: growing appends in a hot loop. Both the fresh-base copy and
+// the loop-local accumulator regrow every iteration; the receiver-field
+// append at the end amortizes and must stay silent.
+package appendgrowth
+
+type sink struct {
+	keep [][]byte
+	all  []byte
+}
+
+// drain is the cycle-accounted consumer.
+//
+//fcae:cycle-accounting
+func (s *sink) drain(pairs [][]byte) {
+	for _, p := range pairs {
+		cp := append([]byte(nil), p...)
+		s.keep = append(s.keep, cp)
+
+		var row []byte
+		for _, b := range p {
+			row = append(row, b)
+		}
+		if len(row) > 0 {
+			s.all = append(s.all, row[0])
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture: the allocation shapes Go hides in plain syntax — interface
+// boxing at a call site, string concatenation, and a closure minted per
+// iteration — plus a reasonless //fcae:alloc-ok, which is its own
+// finding rather than a silent suppression.
+package boxclosure
+
+type meter struct {
+	total int
+	names string
+}
+
+func (m *meter) observe(v any)  { _ = v }
+func (m *meter) each(f func()) { f() }
+
+// account is the cycle-accounted loop.
+//
+//fcae:cycle-accounting
+func (m *meter) account(vals []int, tags []string) {
+	for i, v := range vals {
+		m.observe(v)
+		m.names = m.names + tags[i]
+		//fcae:alloc-ok
+		m.each(func() { m.total += v })
+	}
+}

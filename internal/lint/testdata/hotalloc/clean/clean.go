@@ -1,0 +1,31 @@
+// Fixture: an allocation-free hot kernel. Every append amortizes into
+// receiver-owned scratch, the helper reached from the loop is just as
+// careful, and the error exit may box (returns are cold by definition).
+package clean
+
+import "fmt"
+
+type merger struct {
+	key  []byte
+	out  []byte
+	runs [][]byte
+}
+
+// merge is the cycle-accounted kernel.
+//
+//fcae:cycle-accounting
+func (m *merger) merge() error {
+	for _, r := range m.runs {
+		if len(r) == 0 {
+			return fmt.Errorf("empty run among %d", len(m.runs))
+		}
+		m.key = append(m.key[:0], r...)
+		m.fold(r)
+	}
+	return nil
+}
+
+// fold is loop-hot through the call graph and reuses m.out.
+func (m *merger) fold(r []byte) {
+	m.out = append(m.out, r...)
+}

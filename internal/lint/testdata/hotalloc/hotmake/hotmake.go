@@ -1,0 +1,35 @@
+// Fixture: make() on the hot path, both directly in the kernel's loop
+// and inside a helper that is only hot through call-graph propagation.
+// The make in setup() runs once before the loop and must stay silent.
+package hotmake
+
+type codec struct {
+	runs [][]byte
+}
+
+func setup(n int) *codec {
+	return &codec{runs: make([][]byte, n)}
+}
+
+// kernel is the cycle-accounted entry point.
+//
+//fcae:cycle-accounting
+func (c *codec) kernel() int {
+	total := 0
+	for _, r := range c.runs {
+		buf := make([]byte, len(r))
+		copy(buf, r)
+		total += c.expand(buf)
+	}
+	return total
+}
+
+// expand is loop-hot via kernel's loop; its make allocates per pair even
+// though no loop is visible here.
+func (c *codec) expand(b []byte) int {
+	tmp := make([]int, len(b))
+	for i, v := range b {
+		tmp[i] = int(v)
+	}
+	return len(tmp)
+}

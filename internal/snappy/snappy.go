@@ -73,6 +73,7 @@ func Decode(dst, src []byte) ([]byte, error) {
 	_, w := binary.Uvarint(src)
 	src = src[w:]
 	if cap(dst) < dLen {
+		//fcae:alloc-ok grow-on-demand scratch: callers pass a reused dst, so steady state re-slices
 		dst = make([]byte, dLen)
 	} else {
 		dst = dst[:dLen]
@@ -164,6 +165,7 @@ func Encode(dst, src []byte) []byte {
 		panic("snappy: source too large")
 	}
 	if cap(dst) < n {
+		//fcae:alloc-ok grow-on-demand scratch: callers pass a reused dst, so steady state re-slices
 		dst = make([]byte, n)
 	} else {
 		dst = dst[:n]

@@ -91,19 +91,32 @@ type block struct {
 }
 
 func newBlock(contents []byte, cmp func(a, b []byte) int) (*block, error) {
+	b := &block{cmp: cmp}
+	if err := b.reset(contents); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// reset re-points the block at new contents, reusing the restart array's
+// capacity so a block parsed per data block in the engine's decode loop
+// amortizes to zero steady-state allocation.
+func (b *block) reset(contents []byte) error {
 	if len(contents) < 4 {
-		return nil, fmt.Errorf("%w: block too small", ErrCorrupt)
+		return fmt.Errorf("%w: block too small", ErrCorrupt)
 	}
 	n := int(binary.LittleEndian.Uint32(contents[len(contents)-4:]))
 	restartOff := len(contents) - 4 - 4*n
 	if n < 1 || restartOff < 0 {
-		return nil, fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
+		return fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
 	}
-	restarts := make([]uint32, n)
-	for i := range restarts {
-		restarts[i] = binary.LittleEndian.Uint32(contents[restartOff+4*i:])
+	b.restarts = b.restarts[:0]
+	for i := 0; i < n; i++ {
+		b.restarts = append(b.restarts, binary.LittleEndian.Uint32(contents[restartOff+4*i:]))
 	}
-	return &block{data: contents[:restartOff], restarts: restarts, restartOff: restartOff, cmp: cmp}, nil
+	b.data = contents[:restartOff]
+	b.restartOff = restartOff
+	return nil
 }
 
 // blockIter iterates over a decoded block.
@@ -167,6 +180,7 @@ func (it *blockIter) parseNext() bool {
 }
 
 func (it *blockIter) corrupt(msg string) {
+	//fcae:alloc-ok corruption path: fires at most once, then iteration is dead
 	it.err = fmt.Errorf("%w: %s", ErrCorrupt, msg)
 	it.valid = false
 }

@@ -72,6 +72,23 @@ func NewBlockIter(contents []byte) (*BlockIter, error) {
 	return &BlockIter{inner: b.iter()}, nil
 }
 
+// Reset re-points the iterator at new block contents, reusing the parse
+// state (restart array, key scratch) so a decode loop holding one
+// BlockIter per lane does no per-block allocation. The iterator is left
+// positioned before the first entry, exactly as NewBlockIter returns it.
+func (it *BlockIter) Reset(contents []byte) error {
+	if err := it.inner.b.reset(contents); err != nil {
+		return err
+	}
+	inner := it.inner
+	inner.off = 0
+	inner.key = inner.key[:0]
+	inner.val = nil
+	inner.valid = false
+	inner.err = nil
+	return nil
+}
+
 // SeekToFirst positions at the first entry.
 func (it *BlockIter) SeekToFirst() { it.inner.SeekToFirst() }
 
@@ -119,6 +136,7 @@ func (w *BlockWriter) Empty() bool { return w.b.empty() }
 
 // Finish returns the completed block contents and resets the builder.
 func (w *BlockWriter) Finish() []byte {
+	//fcae:alloc-ok the copy is the API contract: the caller keeps the block, the builder's buffer is reused
 	out := append([]byte(nil), w.b.finish()...)
 	w.b.reset()
 	return out
