@@ -284,11 +284,17 @@ func engineMergeInputs(tb testing.TB, cfg core.Config) []*core.InputImage {
 }
 
 func runEngineMerge(tb testing.TB, eng *core.Engine, images []*core.InputImage) {
+	runEngineMergeArena(tb, eng, images, nil)
+}
+
+func runEngineMergeArena(tb testing.TB, eng *core.Engine, images []*core.InputImage, arena *core.Arena) {
 	tb.Helper()
+	arena.Reset()
 	res, err := eng.Run(images, core.Params{
 		Compress:         true,
 		SmallestSnapshot: keys.MaxSeq,
 		BottomLevel:      true,
+		Arena:            arena,
 	})
 	if err != nil {
 		tb.Fatal(err)
@@ -300,6 +306,8 @@ func runEngineMerge(tb testing.TB, eng *core.Engine, images []*core.InputImage) 
 
 // BenchmarkEngineMerge measures the functional merge kernel itself —
 // allocs/op is the headline number (see TestEngineMergeAllocsBudget).
+// The arena variant retains merge output in a per-channel staging arena,
+// the executor's default.
 func BenchmarkEngineMerge(b *testing.B) {
 	cfg := core.DefaultConfig()
 	eng, err := core.NewEngine(cfg)
@@ -307,17 +315,28 @@ func BenchmarkEngineMerge(b *testing.B) {
 		b.Fatal(err)
 	}
 	images := engineMergeInputs(b, cfg)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		runEngineMerge(b, eng, images)
-	}
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runEngineMerge(b, eng, images)
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		arena := core.NewArena(cfg.ArenaBytes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runEngineMergeArena(b, eng, images, arena)
+		}
+	})
 }
 
-// TestEngineMergeAllocsBudget pins the merge path's allocs/op. The seed
-// tree measured 2261 allocs/op on this workload; the scratch-reuse work
-// (persistent block iterators, pooled FIFO history, single-copy block
-// flush) brought it down, and this budget keeps it from creeping back.
+// TestEngineMergeAllocsBudget pins the merge path's allocs/op, with and
+// without an output arena. The seed tree measured 2261 allocs/op on this
+// workload; the scratch-reuse work (persistent block iterators, pooled
+// FIFO history, single-copy block flush) brought it down, and this budget
+// keeps it from creeping back. The arena path must fit the same budget:
+// arena-backed retention replaces heap copies one for one.
 func TestEngineMergeAllocsBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed budget; skipped in -short")
@@ -328,20 +347,28 @@ func TestEngineMergeAllocsBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	images := engineMergeInputs(t, cfg)
-	res := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			runEngineMerge(b, eng, images)
-		}
-	})
 	// The seed tree measured 2261 allocs/op; scratch reuse brought it to
 	// 890. The budget sits between with headroom for runtime variance —
 	// tight enough that reintroducing a per-block allocation trips it.
 	const budget = 1000
-	if got := res.AllocsPerOp(); got > budget {
-		t.Fatalf("merge path allocates %d allocs/op, budget is %d", got, budget)
-	} else {
-		t.Logf("merge path: %d allocs/op (budget %d)", got, budget)
+	for _, tc := range []struct {
+		name  string
+		arena *core.Arena
+	}{
+		{"heap", nil},
+		{"arena", core.NewArena(cfg.ArenaBytes())},
+	} {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runEngineMergeArena(b, eng, images, tc.arena)
+			}
+		})
+		if got := res.AllocsPerOp(); got > budget {
+			t.Fatalf("%s merge path allocates %d allocs/op, budget is %d", tc.name, got, budget)
+		} else {
+			t.Logf("%s merge path: %d allocs/op (budget %d)", tc.name, got, budget)
+		}
 	}
 }
 

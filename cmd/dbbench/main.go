@@ -9,17 +9,22 @@
 //	        [-num 100000] [-value_size 128] [-key_size 16] [-backend cpu|fcae]
 //	        [-engine_n 9] [-engine_v 8] [-compression_ratio 0.5]
 //	        [-compaction-workers 1] [-device-channels 1] [-fault-rate 0.0] [-fault-seed 1]
+//	        [-priority-lanes=true] [-arena-bytes 0]
 //	        [-trace out.jsonl] [-metrics] [-json out.json]
 //
 // -device-channels builds that many independent engine instances behind
 // the offload scheduler (backend=fcae only); -compaction-workers runs
 // that many background compactors against them; -fault-rate injects
 // device faults (errors, mid-merge write failures, stalls) at the given
-// probability, exercising the CPU-fallback path. -trace writes one JSON
-// line per compaction (inputs, outputs, pairs, modeled kernel/PCIe time,
-// phase spans); -metrics dumps the final metrics snapshot as JSON on
-// stdout; -json writes a machine-readable result blob (config, per-
-// benchmark ops/s, store stats, dispatch routing counters) to a file.
+// probability, exercising the CPU-fallback path. -priority-lanes=false
+// collapses the scheduler's two-priority queue back to a single FIFO;
+// -arena-bytes sizes each channel's persistent device-memory staging
+// arena (0 = modeled default, negative disables; backend=fcae only).
+// -trace writes one JSON line per compaction (inputs, outputs, pairs,
+// modeled kernel/PCIe time, phase spans); -metrics dumps the final
+// metrics snapshot as JSON on stdout; -json writes a machine-readable
+// result blob (config, per-benchmark ops/s, store stats, dispatch
+// routing counters) to a file.
 package main
 
 import (
@@ -67,6 +72,8 @@ func main() {
 	channels := flag.Int("device-channels", 1, "device channels (engine instances) behind the scheduler; backend=fcae only")
 	faultRate := flag.Float64("fault-rate", 0, "device fault injection probability [0,1); backend=fcae only")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector RNG seed")
+	priorityLanes := flag.Bool("priority-lanes", true, "dispatch L0 jobs ahead of deep-level jobs (false = single FIFO)")
+	arenaBytes := flag.Int64("arena-bytes", 0, "per-channel device staging arena size (0 = modeled default, <0 disables); backend=fcae only")
 	tracePath := flag.String("trace", "", "write per-compaction JSONL trace records to this file")
 	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	jsonPath := flag.String("json", "", "write a machine-readable result blob to this file")
@@ -81,11 +88,16 @@ func main() {
 		*dir = d
 	}
 
+	// The legacy -compaction-workers flag keeps its historical meaning (N
+	// merge compactors implies N+1 pool workers); everything else feeds
+	// the consolidated DispatchConfig.
 	opts := fcae.Options{CompactionWorkers: *workers}
+	opts.DispatchConfig.Tuning = fcae.DispatchTuning{DisablePriorityLanes: !*priorityLanes}
 	if *backend == "fcae" {
 		cfg := fcae.MultiInputEngineConfig()
 		cfg.N = *engineN
 		cfg.V = *engineV
+		cfg.StagingBytes = *arenaBytes
 		if *channels < 1 {
 			fatal(fmt.Errorf("-device-channels must be >= 1, got %d", *channels))
 		}
@@ -97,12 +109,17 @@ func main() {
 			}
 			devs[i] = exec
 		}
-		opts.DeviceExecutors = devs
+		opts.DispatchConfig.Devices = devs
 		if *faultRate > 0 {
-			opts.FaultInjector = fcae.NewProbInjector(*faultSeed, *faultRate)
+			opts.DispatchConfig.FaultInjector = fcae.NewProbInjector(*faultSeed, *faultRate)
 		}
-	} else if *faultRate > 0 {
-		fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
+	} else {
+		if *faultRate > 0 {
+			fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
+		}
+		if *arenaBytes != 0 {
+			fatal(fmt.Errorf("-arena-bytes requires -backend fcae (no device memory to stage)"))
+		}
 	}
 	var tw *fcae.TraceWriter
 	if *tracePath != "" {
@@ -142,9 +159,10 @@ func main() {
 		st.Flushes, st.Compactions, st.HWCompactions, st.SWFallbacks, st.TrivialMoves)
 	fmt.Printf("compaction bytes: read=%d written=%d; modeled kernel=%s pcie=%s; stalls=%s\n",
 		st.CompactionRead, st.CompactionWrite, st.KernelTime, st.TransferTime, st.StallTime)
-	fmt.Printf("dispatch: device=%d cpu=%d lanes=%v faults=%d timeouts=%d retries=%d fallbacks(fanin=%d budget=%d saturated=%d fault=%d)\n",
+	fmt.Printf("dispatch: device=%d cpu=%d lanes=%v faults=%d timeouts=%d retries=%d fallbacks(fanin=%d budget=%d arena=%d saturated=%d fault=%d) promotions=%d arena-bytes=%d\n",
 		ds.DeviceJobs, ds.CPUJobs, ds.LaneJobs, ds.Faults, ds.Timeouts, ds.Retries,
-		ds.FallbackFanIn, ds.FallbackBudget, ds.FallbackSaturated, ds.FallbackFault)
+		ds.FallbackFanIn, ds.FallbackBudget, ds.FallbackArena, ds.FallbackSaturated, ds.FallbackFault,
+		ds.AgingPromotions, ds.ArenaBytes)
 	levels := db.LevelFiles()
 	fmt.Printf("level files: %v\n", levels)
 
@@ -167,6 +185,8 @@ func main() {
 				"device_channels":    *channels,
 				"fault_rate":         *faultRate,
 				"fault_seed":         *faultSeed,
+				"priority_lanes":     *priorityLanes,
+				"arena_bytes":        *arenaBytes,
 				"benchmarks":         *benches,
 			},
 			Benchmarks: results,

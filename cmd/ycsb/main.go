@@ -6,13 +6,16 @@
 //	ycsb [-db DIR] [-workloads load,a,b,c,d,e,f] [-records 100000]
 //	     [-ops 100000] [-value_size 1024] [-backend cpu|fcae]
 //	     [-compaction-workers 1] [-device-channels 1] [-fault-rate 0.0]
-//	     [-metrics]
+//	     [-priority-lanes=true] [-arena-bytes 0] [-metrics]
 //
 // -device-channels builds that many engine instances behind the offload
 // scheduler (backend=fcae only); -compaction-workers runs that many
 // background compactors; -fault-rate injects device faults at the given
-// probability. -metrics dumps the final metrics snapshot as JSON on
-// stdout, machine-readable for BENCH_*.json tooling.
+// probability. -priority-lanes=false collapses the scheduler's
+// two-priority queue to a single FIFO; -arena-bytes sizes each channel's
+// persistent device-memory staging arena (0 = modeled default, negative
+// disables; backend=fcae only). -metrics dumps the final metrics
+// snapshot as JSON on stdout, machine-readable for BENCH_*.json tooling.
 package main
 
 import (
@@ -54,6 +57,8 @@ func main() {
 	workers := flag.Int("compaction-workers", 1, "concurrent background compaction workers")
 	channels := flag.Int("device-channels", 1, "device channels (engine instances) behind the scheduler; backend=fcae only")
 	faultRate := flag.Float64("fault-rate", 0, "device fault injection probability [0,1); backend=fcae only")
+	priorityLanes := flag.Bool("priority-lanes", true, "dispatch L0 jobs ahead of deep-level jobs (false = single FIFO)")
+	arenaBytes := flag.Int64("arena-bytes", 0, "per-channel device staging arena size (0 = modeled default, <0 disables); backend=fcae only")
 	seed := flag.Int64("seed", 7, "RNG seed; every generator derives from this one stream")
 	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	flag.Parse()
@@ -66,21 +71,31 @@ func main() {
 		defer os.RemoveAll(d)
 		*dir = d
 	}
+	// -compaction-workers keeps its historical meaning (N merge compactors
+	// implies N+1 pool workers); the rest feeds DispatchConfig.
 	opts := fcae.Options{CompactionWorkers: *workers}
+	opts.DispatchConfig.Tuning = fcae.DispatchTuning{DisablePriorityLanes: !*priorityLanes}
 	if *backend == "fcae" {
 		if *channels < 1 {
 			fatal(fmt.Errorf("-device-channels must be >= 1, got %d", *channels))
 		}
+		cfg := fcae.MultiInputEngineConfig()
+		cfg.StagingBytes = *arenaBytes
 		devs := make([]fcae.CompactionExecutor, *channels)
 		for i := range devs {
-			devs[i] = fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())
+			devs[i] = fcae.MustNewEngineExecutor(cfg)
 		}
-		opts.DeviceExecutors = devs
+		opts.DispatchConfig.Devices = devs
 		if *faultRate > 0 {
-			opts.FaultInjector = fcae.NewProbInjector(*seed, *faultRate)
+			opts.DispatchConfig.FaultInjector = fcae.NewProbInjector(*seed, *faultRate)
 		}
-	} else if *faultRate > 0 {
-		fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
+	} else {
+		if *faultRate > 0 {
+			fatal(fmt.Errorf("-fault-rate requires -backend fcae (no device to fault)"))
+		}
+		if *arenaBytes != 0 {
+			fatal(fmt.Errorf("-arena-bytes requires -backend fcae (no device memory to stage)"))
+		}
 	}
 	db, err := fcae.Open(*dir, opts)
 	if err != nil {

@@ -81,16 +81,31 @@ type (
 	CompactionExecutor = compaction.Executor
 )
 
-// Offload-scheduler types. Options.DeviceExecutors configures a pool of
-// device channels (one executor instance each), Options.CompactionWorkers
-// the number of concurrent background compactors, and Options.Dispatch
-// the scheduler's queueing/retry behavior. DB.DispatchStats reports the
+// Offload-scheduler types. Options.DispatchConfig consolidates the device
+// channel pool, the shared flush/compaction worker-pool size, the fault
+// injector and the scheduler tuning in one place (the former
+// Options.{DeviceExecutors,CompactionWorkers,FaultInjector,Dispatch}
+// fields remain as deprecated aliases). DB.DispatchStats reports the
 // per-lane routing counters.
 type (
+	// DispatchConfig consolidates the offload scheduler's configuration:
+	// device channels, shared worker-pool size, fault injection and
+	// tuning. Set it in Options.DispatchConfig; it has its own Validate.
+	DispatchConfig = lsm.DispatchConfig
 	// DispatchTuning sets the offload scheduler's queue depth, device
-	// deadline, retry policy and image budget. The zero value picks
+	// deadline, retry policy, image budget, and the priority-lane
+	// controls (AgingWait, DisablePriorityLanes). The zero value picks
 	// working defaults.
 	DispatchTuning = dispatch.Tuning
+	// Lane identifies which dispatch lane completed a merge: LaneCPU,
+	// DeviceLane(i), or the zero LaneNone for undispatched work.
+	Lane = obs.Lane
+	// RouteReason explains why a job routed to the CPU lane; the zero
+	// RouteNone means it completed on a device.
+	RouteReason = obs.RouteReason
+	// Priority is a compaction job's dispatch priority: PriorityL0 jobs
+	// dequeue ahead of PriorityDeep ones.
+	Priority = obs.Priority
 	// DispatchStats is a snapshot of the scheduler's routing counters:
 	// device vs CPU jobs, per-lane totals, faults, timeouts, retries and
 	// the per-reason fallback counts.
@@ -118,6 +133,38 @@ const (
 	// FaultSlow adds latency without failing.
 	FaultSlow = dispatch.FaultSlow
 )
+
+// Dispatch lanes, route reasons and priorities carried by compaction
+// events, traces and DispatchStats.
+const (
+	// LaneNone marks undispatched work (trivial moves).
+	LaneNone = obs.LaneNone
+	// LaneCPU is the host software lane.
+	LaneCPU = obs.LaneCPU
+
+	// RouteNone: the job completed on a device.
+	RouteNone = obs.RouteNone
+	// RouteNoDevice: no device channels are configured.
+	RouteNoDevice = obs.RouteNoDevice
+	// RouteFanIn: the job exceeded the engine's input width.
+	RouteFanIn = obs.RouteFanIn
+	// RouteImageBudget: the input images exceeded the device image budget.
+	RouteImageBudget = obs.RouteImageBudget
+	// RouteArena: the job did not fit the per-channel staging arena.
+	RouteArena = obs.RouteArena
+	// RouteSaturated: every device queue slot was full at submission.
+	RouteSaturated = obs.RouteSaturated
+	// RouteDeviceFault: device attempts exhausted the retry budget.
+	RouteDeviceFault = obs.RouteDeviceFault
+
+	// PriorityDeep is the default priority for deep-level compactions.
+	PriorityDeep = obs.PriorityDeep
+	// PriorityL0 marks flush-driven L0 jobs; they dequeue first.
+	PriorityL0 = obs.PriorityL0
+)
+
+// DeviceLane returns the Lane for device channel i (0-based).
+func DeviceLane(i int) Lane { return obs.DeviceLane(i) }
 
 // NewProbInjector returns a FaultInjector that faults a device attempt
 // with the given probability (split evenly across error, mid-merge write

@@ -6,6 +6,7 @@
 package compaction
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -15,6 +16,13 @@ import (
 	"fcae/internal/obs"
 	"fcae/internal/sstable"
 )
+
+// ErrArenaExhausted is returned (wrapped) by device executors whose
+// per-channel staging arena cannot hold the job's input or output images.
+// The dispatcher treats it as a deterministic routing condition — the job
+// reruns on the CPU lane without burning device retries — rather than a
+// fault.
+var ErrArenaExhausted = errors.New("compaction: job exceeds device staging arena")
 
 // Table is one input SSTable's raw bytes.
 type Table struct {

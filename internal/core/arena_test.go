@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fcae/internal/compaction"
+	"fcae/internal/sstable"
+)
+
+func TestArenaSizing(t *testing.T) {
+	if a := NewArena(0); a != nil {
+		t.Fatal("NewArena(0) must disable the arena")
+	}
+	if a := NewArena(-4096); a != nil {
+		t.Fatal("NewArena(<0) must disable the arena")
+	}
+	a := NewArena(8192)
+	if got := a.Cap(); got != 8192 {
+		t.Fatalf("Cap = %d, want 8192", got)
+	}
+	// 1/8 index, 1/2 data, remainder output.
+	if got := a.InputBudget(); got != 4096-4096/8 {
+		t.Fatalf("InputBudget = %d, want %d", got, 4096-4096/8)
+	}
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("fresh arena InUse = %d, want 0", got)
+	}
+}
+
+func TestNilArenaSafe(t *testing.T) {
+	var a *Arena
+	a.Reset() // must not panic
+	if a.Cap() != 0 || a.InUse() != 0 || a.InputBudget() != 0 {
+		t.Fatalf("nil arena reported non-zero sizes: cap=%d use=%d budget=%d",
+			a.Cap(), a.InUse(), a.InputBudget())
+	}
+	if _, ok := a.takeOut(1); ok {
+		t.Fatal("nil arena handed out memory")
+	}
+}
+
+func TestConfigArenaBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StagingBytes = 12345
+	if got := cfg.ArenaBytes(); got != 12345 {
+		t.Fatalf("explicit StagingBytes: ArenaBytes = %d, want 12345", got)
+	}
+	cfg.StagingBytes = -1
+	if got := cfg.ArenaBytes(); got != 0 {
+		t.Fatalf("negative StagingBytes: ArenaBytes = %d, want 0 (disabled)", got)
+	}
+	cfg.StagingBytes = 0
+	want := int64(cfg.N) * DefaultArenaPerLane
+	if want > MaxArenaBytes {
+		want = MaxArenaBytes
+	}
+	if got := cfg.ArenaBytes(); got != want {
+		t.Fatalf("modeled default: ArenaBytes = %d, want %d", got, want)
+	}
+}
+
+func TestArenaTakeOutAndReset(t *testing.T) {
+	a := NewArena(8192)
+	outRegion := int(a.Cap()) - len(a.index) - len(a.data)
+	dst, ok := a.takeOut(16)
+	if !ok || len(dst) != 0 || cap(dst) != 16 {
+		t.Fatalf("takeOut(16) = len %d cap %d ok %v, want empty slice with cap 16", len(dst), cap(dst), ok)
+	}
+	dst = append(dst, bytes.Repeat([]byte{0xAB}, 16)...)
+	if got := a.InUse(); got != 16 {
+		t.Fatalf("InUse = %d after takeOut(16), want 16", got)
+	}
+	// A second reservation must not alias the first.
+	dst2, ok := a.takeOut(16)
+	if !ok {
+		t.Fatal("second takeOut failed")
+	}
+	dst2 = append(dst2, bytes.Repeat([]byte{0xCD}, 16)...)
+	if dst[0] != 0xAB || dst2[0] != 0xCD {
+		t.Fatal("takeOut reservations alias each other")
+	}
+	if _, ok := a.takeOut(outRegion); ok {
+		t.Fatal("takeOut handed out more than the output region holds")
+	}
+	a.Reset()
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after Reset, want 0", got)
+	}
+	if _, ok := a.takeOut(outRegion); !ok {
+		t.Fatal("full output region unavailable after Reset")
+	}
+}
+
+func TestArenaBuilderExhaustion(t *testing.T) {
+	a := NewArena(1024) // 512B data region
+	b := NewInputBuilderArena(64, a)
+	b.BeginTable()
+	if err := b.AddBlock([]byte("k1"), 0, make([]byte, 1024)); err == nil {
+		t.Fatal("AddBlock accepted a block larger than the data region")
+	} else if !errors.Is(err, compaction.ErrArenaExhausted) {
+		t.Fatalf("AddBlock error = %v, want ErrArenaExhausted", err)
+	}
+}
+
+// TestArenaImageMatchesHeap proves arena staging is invisible in the image
+// bytes: the same run serialized with and without an arena is identical.
+func TestArenaImageMatchesHeap(t *testing.T) {
+	opts := sstable.Options{Compression: sstable.SnappyCompression}
+	run := []compaction.Table{buildTable(t, opts, genRun("key-", 500, 64, 100))}
+
+	heap, err := BuildInputImage(run, 64, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArena(1 << 20)
+	staged, err := BuildInputImageArena(run, 64, opts, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(heap.IndexMem, staged.IndexMem) {
+		t.Fatal("arena-staged index memory differs from heap-built")
+	}
+	if !bytes.Equal(heap.DataMem, staged.DataMem) {
+		t.Fatal("arena-staged data memory differs from heap-built")
+	}
+	if a.InUse() != int64(len(staged.IndexMem)+len(staged.DataMem)) {
+		t.Fatalf("arena InUse = %d, want staged %d", a.InUse(), len(staged.IndexMem)+len(staged.DataMem))
+	}
+}
+
+// TestExecutorArenaEquivalence proves an arena-backed executor produces
+// byte-identical outputs to one with the arena disabled, across repeated
+// jobs on the same channel (exercising Reset-and-reuse).
+func TestExecutorArenaEquivalence(t *testing.T) {
+	mkJob := func(seqBase uint64) *compaction.Job {
+		opts := sstable.Options{Compression: sstable.SnappyCompression, FilterBitsPerKey: 10}
+		runA := genRun("key-a", 400, 64, seqBase)
+		runB := genRun("key-b", 300, 64, seqBase+1000)
+		return defaultJob(
+			[]compaction.Table{buildTable(t, opts, runA)},
+			[]compaction.Table{buildTable(t, opts, runB)},
+		)
+	}
+
+	withArena, err := NewExecutor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withArena.ArenaBytes() == 0 {
+		t.Fatal("default config must enable the arena")
+	}
+	noCfg := DefaultConfig()
+	noCfg.StagingBytes = -1
+	without, err := NewExecutor(noCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.ArenaBytes() != 0 || without.ArenaInputBudget() != 0 {
+		t.Fatal("StagingBytes < 0 must disable the arena")
+	}
+
+	for round := 0; round < 3; round++ {
+		job := mkJob(uint64(100 * (round + 1)))
+		envA, envB := newMemEnv(), newMemEnv()
+		resA, err := withArena.Compact(job, envA)
+		if err != nil {
+			t.Fatalf("round %d arena compact: %v", round, err)
+		}
+		resB, err := without.Compact(job, envB)
+		if err != nil {
+			t.Fatalf("round %d heap compact: %v", round, err)
+		}
+		a, b := scanOutputs(t, envA, resA), scanOutputs(t, envB, resB)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: arena %d entries, heap %d", round, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d entry %d differs: arena=%+v heap=%+v", round, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestExecutorArenaExhausted proves a job too large for a deliberately
+// tiny arena surfaces the sentinel the dispatcher routes on.
+func TestExecutorArenaExhausted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StagingBytes = 2048 // 1KiB data region; the run below cannot fit
+	x, err := NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sstable.Options{Compression: sstable.SnappyCompression}
+	job := defaultJob([]compaction.Table{buildTable(t, opts, genRun("key-", 500, 64, 100))})
+	if _, err := x.Compact(job, newMemEnv()); !errors.Is(err, compaction.ErrArenaExhausted) {
+		t.Fatalf("Compact = %v, want ErrArenaExhausted", err)
+	}
+}

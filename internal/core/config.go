@@ -25,6 +25,13 @@ const (
 	DefaultDRAMLatencyCycles = 8
 	// DefaultFIFODepth sizes each lane's decoded-stream FIFO in entries.
 	DefaultFIFODepth = 32
+	// DefaultArenaPerLane is the modeled staging-arena share per decoder
+	// lane: each input run needs room for its serialized image, plus the
+	// shared output region, carved from the card's DRAM.
+	DefaultArenaPerLane = 16 << 20
+	// MaxArenaBytes caps the modeled arena at a small fraction of the
+	// card DRAM — the rest holds data at rest between jobs.
+	MaxArenaBytes = DefaultDRAMBytes / 64
 )
 
 // Config describes one synthesized engine configuration. The triple
@@ -56,6 +63,11 @@ type Config struct {
 	// (§V-C: FIFOs hold the decoded key and value streams). It bounds how
 	// far a decoder can run ahead of the Comparer.
 	FIFODepth int
+	// StagingBytes sizes the channel's persistent device-memory arena
+	// that input/output images are staged in. Zero selects the modeled
+	// default (ArenaBytes); a negative value disables the arena entirely
+	// (every job heap-allocates, the pre-arena behavior).
+	StagingBytes int64
 }
 
 // DefaultConfig returns the 2-input configuration of §VII-B.
@@ -110,6 +122,27 @@ func (c Config) Validate() error {
 func (c Config) Fits() bool {
 	u := c.Resources()
 	return u.LUT <= 100 && u.BRAM <= 100 && u.FF <= 100
+}
+
+// ArenaBytes resolves the channel's staging-arena size: StagingBytes when
+// set (negative disables, returning 0), otherwise N lanes' worth of
+// DefaultArenaPerLane capped at MaxArenaBytes.
+func (c Config) ArenaBytes() int64 {
+	if c.StagingBytes < 0 {
+		return 0
+	}
+	if c.StagingBytes > 0 {
+		return c.StagingBytes
+	}
+	n := c.N
+	if n <= 0 {
+		n = DefaultConfig().N
+	}
+	total := int64(n) * DefaultArenaPerLane
+	if total > MaxArenaBytes {
+		total = MaxArenaBytes
+	}
+	return total
 }
 
 // withDefaults fills zero fields.

@@ -32,6 +32,11 @@ type Params struct {
 	// CollectFilterKeys returns user keys in MetaOut so the host can
 	// attach bloom filters while combining the output.
 	CollectFilterKeys bool
+	// Arena, when non-nil, backs the run's retained output (table bounds,
+	// block last-keys, compressed payloads, filter keys) with the
+	// channel's staging arena instead of per-item heap allocations. The
+	// caller owns the arena's lifetime; output slices die at its Reset.
+	Arena *Arena
 
 	// TraceWriter, when set, receives a CSV stream of per-selection
 	// pipeline timestamps (cycle numbers for FIFO-head readiness, Comparer
@@ -431,6 +436,7 @@ type outputBuilder struct {
 	p            Params
 	bw           *sstable.BlockWriter
 	cbuf         []byte
+	fbuf         []byte // finished-block scratch, reused across flushes
 	tables       []*OutputTableImage
 	cur          *OutputTableImage
 	curous       int64 // current table's accumulated block bytes
@@ -441,6 +447,20 @@ type outputBuilder struct {
 
 func newOutputBuilder(cfg Config, p Params) *outputBuilder {
 	return &outputBuilder{cfg: cfg, p: p, bw: sstable.NewBlockWriter(p.RestartInterval)}
+}
+
+// retain copies b into the arena's retained-output region when one is
+// attached and has room; otherwise it heap-allocates the copy (the
+// pre-arena behavior, also the overflow path once the region fills).
+//
+//fcae:cycle-accounting
+func (o *outputBuilder) retain(b []byte) []byte {
+	if dst, ok := o.p.Arena.takeOut(len(b)); ok {
+		//fcae:alloc-ok arena-backed: takeOut pre-carved exactly len(b) capacity, append cannot grow
+		return append(dst, b...)
+	}
+	//fcae:alloc-ok retained output must outlive the merge loop; the arena is absent or its output region is full
+	return append([]byte(nil), b...)
 }
 
 // add encodes one pair, returning any extra encoder cycles spent flushing
@@ -458,16 +478,16 @@ func (o *outputBuilder) add(ikey, value []byte) (float64, error) {
 		o.wantClose = false
 	}
 	if o.cur == nil {
-		//fcae:alloc-ok table bound is retained output: one copy per output table, not per pair
-		o.cur = &OutputTableImage{Smallest: append([]byte(nil), ikey...)}
+		//fcae:alloc-ok one table image per output table, not per pair; its bound bytes go through retain
+		o.cur = &OutputTableImage{Smallest: o.retain(ikey)}
 		o.curous = 0
 	}
 	o.bw.Add(ikey, value)
 	o.blockEntries++
 	o.last = append(o.last[:0], ikey...)
 	if o.p.CollectFilterKeys {
-		//fcae:alloc-ok filter keys are retained output handed to the host assembler; each copy outlives the loop
-		o.cur.FilterKeys = append(o.cur.FilterKeys, append([]byte(nil), keys.UserKey(ikey)...))
+		//fcae:alloc-ok filter keys are retained output handed to the host assembler; key bytes go through retain
+		o.cur.FilterKeys = append(o.cur.FilterKeys, o.retain(keys.UserKey(ikey)))
 	}
 	o.cur.Entries++
 	if o.bw.EstimatedSize() >= o.p.BlockSize {
@@ -486,25 +506,24 @@ func (o *outputBuilder) flushBlock() float64 {
 	if o.bw.Empty() {
 		return 0
 	}
-	// BlockWriter.Finish already hands back a fresh copy, so the
-	// uncompressed path retains contents directly; only the compressed
-	// path copies (cbuf is scratch reused across blocks).
-	contents := o.bw.Finish()
+	// FinishInto reuses fbuf as the finished-block scratch, so contents
+	// is NOT safe to retain directly: whichever encoding wins, the kept
+	// payload goes through retain (arena region or heap copy).
+	contents := o.bw.FinishInto(o.fbuf[:0])
+	o.fbuf = contents
 	ctype := byte(sstable.NoCompression)
 	payload := contents
 	if o.p.Compress {
 		o.cbuf = snappy.Encode(o.cbuf[:0], contents)
 		if len(o.cbuf) < len(contents)-len(contents)/8 {
-			//fcae:alloc-ok the compressed payload is retained output; cbuf itself is reused scratch
-			payload = append([]byte(nil), o.cbuf...)
+			payload = o.cbuf
 			ctype = byte(sstable.SnappyCompression)
 		}
 	}
 	o.cur.Blocks = append(o.cur.Blocks, OutputBlock{
-		CType:   ctype,
-		Payload: payload,
-		//fcae:alloc-ok block last-key is retained output: one copy per flushed block
-		LastKey:  append([]byte(nil), o.last...),
+		CType:    ctype,
+		Payload:  o.retain(payload),
+		LastKey:  o.retain(o.last),
 		RawBytes: len(contents),
 		Entries:  o.blockEntries,
 	})
@@ -517,8 +536,7 @@ func (o *outputBuilder) closeTable() {
 	if o.cur == nil {
 		return
 	}
-	//fcae:alloc-ok table bound is retained output: one copy per closed table
-	o.cur.Largest = append([]byte(nil), o.last...)
+	o.cur.Largest = o.retain(o.last)
 	o.tables = append(o.tables, o.cur)
 	o.cur = nil
 }

@@ -20,6 +20,11 @@ type Executor struct {
 
 	mu sync.Mutex
 
+	// arena is the channel's persistent device-memory staging allocation
+	// (nil when disabled via Config.StagingBytes < 0); Reset at the start
+	// of every job, so each compaction reuses the same backing slab.
+	arena *Arena
+
 	// Totals since creation, surfaced in DB stats.
 	jobs          int
 	kernelCycles  float64
@@ -33,7 +38,23 @@ func NewExecutor(cfg Config) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Executor{engine: eng}, nil
+	return &Executor{engine: eng, arena: NewArena(eng.cfg.ArenaBytes())}, nil
+}
+
+// ArenaBytes reports the channel's staging-arena capacity (0 when the
+// arena is disabled), implementing the dispatcher's ArenaSizer.
+func (x *Executor) ArenaBytes() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.arena.Cap()
+}
+
+// ArenaInputBudget reports the largest job input size the arena can
+// stage (0 when disabled), implementing the dispatcher's ArenaSizer.
+func (x *Executor) ArenaInputBudget() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.arena.InputBudget()
 }
 
 // Name implements compaction.Executor.
@@ -56,10 +77,14 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 	// Step 3-4 (paper §IV): serialize each input into its device image.
 	// The MetaIn block crosses the DMA boundary as real bytes (Fig 8);
 	// the "device side" decodes it back before the engine starts.
+	// The previous job's staged images are dead once its result has been
+	// assembled; rewind the arena so this job reuses the backing slab.
+	x.arena.Reset()
+
 	buildDone := job.Trace.StartSpan("build_images")
 	images := make([]*InputImage, 0, len(job.Runs))
 	for _, run := range job.Runs {
-		img, err := BuildInputImage(run, x.engine.cfg.WIn, job.TableOpts)
+		img, err := BuildInputImageArena(run, x.engine.cfg.WIn, job.TableOpts, x.arena)
 		if err != nil {
 			return nil, err
 		}
@@ -85,6 +110,7 @@ func (x *Executor) Compact(job *compaction.Job, env compaction.Env) (*compaction
 		SmallestSnapshot:  job.SmallestSnapshot,
 		BottomLevel:       job.BottomLevel,
 		CollectFilterKeys: job.TableOpts.FilterBitsPerKey > 0,
+		Arena:             x.arena,
 	})
 	if err != nil {
 		return nil, err
@@ -168,7 +194,14 @@ func (x *Executor) PublishMetrics(r *obs.Registry) {
 // BuildInputImage serializes one sorted run of tables into a device image
 // (paper Fig 7: index blocks continuous, data blocks WIn-aligned).
 func BuildInputImage(run []compaction.Table, wIn int, opts sstable.Options) (*InputImage, error) {
-	b := NewInputBuilder(wIn)
+	return BuildInputImageArena(run, wIn, opts, nil)
+}
+
+// BuildInputImageArena is BuildInputImage staging into a channel arena (a
+// nil arena heap-allocates). It fails with an error wrapping
+// compaction.ErrArenaExhausted when the run does not fit the arena.
+func BuildInputImageArena(run []compaction.Table, wIn int, opts sstable.Options, a *Arena) (*InputImage, error) {
+	b := NewInputBuilderArena(wIn, a)
 	for _, t := range run {
 		r, err := sstable.NewReader(t.Data, t.Size, opts, nil, t.Num)
 		if err != nil {
@@ -176,8 +209,7 @@ func BuildInputImage(run []compaction.Table, wIn int, opts sstable.Options) (*In
 		}
 		b.BeginTable()
 		err = r.VisitRawBlocks(func(rb sstable.RawBlock) error {
-			b.AddBlock(rb.IndexKey, rb.CType, rb.Payload)
-			return nil
+			return b.AddBlock(rb.IndexKey, rb.CType, rb.Payload)
 		})
 		if err != nil {
 			return nil, err

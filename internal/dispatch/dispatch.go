@@ -1,20 +1,30 @@
 // Package dispatch is the host-side compaction-offload scheduler (the
 // paper's Fig. 6 routing box grown into a subsystem, following LUDA's
 // observation that offload wins hinge on keeping the device busy, not on
-// the kernel alone). It owns a bounded job queue feeding a pool of device
-// channels — each wrapping one compaction executor instance, the analogue
-// of one FCAE compaction unit — plus a software (CPU) lane, and routes
-// every job through an admission policy:
+// the kernel alone). It owns a two-priority job queue feeding a pool of
+// device channels — each wrapping one compaction executor instance, the
+// analogue of one FCAE compaction unit — plus a software (CPU) lane, and
+// routes every job through an admission policy:
 //
 //   - fan-in: jobs whose run count exceeds the device's N go to the CPU
 //     lane (the paper's "#SSTable in L0 > N-1 → SW compaction" rule);
 //   - image budget: jobs whose input bytes exceed the device image budget
 //     go to the CPU lane (the images would not fit card DRAM);
+//   - arena: jobs whose input bytes exceed the per-channel staging arena
+//     go to the CPU lane (the images would not fit the channel's
+//     persistent device-memory allocation);
 //   - backpressure: when the device queue is full the job runs on the CPU
 //     lane immediately instead of stalling the compaction worker;
 //   - fault fallback: a device attempt that faults or times out is
 //     retried with backoff, then degraded to the CPU lane — a flaky card
 //     slows compaction down, it never wedges the store.
+//
+// Admitted jobs queue at one of two priorities: PriorityL0 jobs (the
+// L0→L1 compactions that gate foreground writes) dequeue ahead of
+// PriorityDeep jobs in queue order — no mid-job preemption — with
+// starvation aging: a deep job whose head-of-queue wait exceeds
+// Tuning.AgingWait is promoted past the L0 backlog so deep levels still
+// drain under sustained flush pressure.
 //
 // The scheduler is deliberately oblivious to what a job merges: it sees
 // compaction.Job/Env and returns compaction.Result, so the lsm layer's
@@ -31,25 +41,58 @@ import (
 	"fcae/internal/obs"
 )
 
+// Lane identifies the lane that completed a job (see obs.Lane).
+type Lane = obs.Lane
+
+// RouteReason explains a CPU routing (see obs.RouteReason).
+type RouteReason = obs.RouteReason
+
+// Priority is the queue lane a job is enqueued on (see obs.Priority).
+type Priority = obs.Priority
+
+// Priorities, low to high.
+const (
+	// PriorityDeep is the default for deep-level compactions.
+	PriorityDeep = obs.PriorityDeep
+	// PriorityL0 marks flush-driven L0 jobs; they dequeue first.
+	PriorityL0 = obs.PriorityL0
+)
+
 // Route reasons reported in Route.Reason and the obs trace records.
 const (
 	// ReasonFanIn: the job's run count exceeded the device's MaxRuns.
-	ReasonFanIn = "fanin"
+	ReasonFanIn = obs.RouteFanIn
 	// ReasonBudget: the job's input bytes exceeded DeviceImageBudget.
-	ReasonBudget = "image-budget"
+	ReasonBudget = obs.RouteImageBudget
+	// ReasonArena: the job would not fit the per-channel staging arena,
+	// at admission (sized check) or at run time (builder exhausted it).
+	ReasonArena = obs.RouteArena
 	// ReasonSaturated: the device queue was full at admission.
-	ReasonSaturated = "saturated"
+	ReasonSaturated = obs.RouteSaturated
 	// ReasonFault: device attempts faulted until retries were exhausted.
-	ReasonFault = "device-fault"
+	ReasonFault = obs.RouteDeviceFault
 	// ReasonNoDevice: the scheduler has no device channels configured.
-	ReasonNoDevice = "no-device"
+	ReasonNoDevice = obs.RouteNoDevice
 )
+
+// ArenaSizer is implemented by device executors that stage jobs in a
+// persistent device-memory arena (core.Executor). The scheduler uses it
+// for admission: jobs whose input bytes exceed the smallest channel's
+// budget route to the CPU lane up front instead of failing mid-build.
+type ArenaSizer interface {
+	// ArenaBytes is the arena's total capacity (0 = no arena).
+	ArenaBytes() int64
+	// ArenaInputBudget is the largest job input size the arena can
+	// stage (0 = no arena, unlimited admission).
+	ArenaInputBudget() int64
+}
 
 // Tuning bounds the scheduler's queueing and retry behavior. The zero
 // value selects the documented defaults.
 type Tuning struct {
-	// QueueDepth bounds the device job queue (default 2x channels). A
-	// full queue routes new jobs to the CPU lane instead of blocking.
+	// QueueDepth bounds the device job queue across both priorities
+	// (default 2x channels). A full queue routes new jobs to the CPU
+	// lane instead of blocking.
 	QueueDepth int
 	// DeviceDeadline caps one device attempt's stall time (default 2s).
 	// Only injected stalls are cut short — a merge that is actually
@@ -69,6 +112,13 @@ type Tuning struct {
 	// CPUSlots bounds concurrent CPU-lane merges; 0 means unbounded (the
 	// caller's worker count is the natural bound).
 	CPUSlots int
+	// AgingWait is the starvation bound for deep-priority jobs: a deep
+	// job that has waited this long at its queue head is dequeued ahead
+	// of pending L0 jobs (default 500ms).
+	AgingWait time.Duration
+	// DisablePriorityLanes collapses the two priorities into one FIFO
+	// queue (the pre-priority behavior), for ablation and benchmarks.
+	DisablePriorityLanes bool
 }
 
 // Validate rejects nonsensical tuning values.
@@ -89,6 +139,8 @@ func (t Tuning) Validate() error {
 		return neg("DeviceImageBudget", t.DeviceImageBudget)
 	case t.CPUSlots < 0:
 		return neg("CPUSlots", int64(t.CPUSlots))
+	case t.AgingWait < 0:
+		return neg("AgingWait", int64(t.AgingWait))
 	}
 	return nil
 }
@@ -108,6 +160,9 @@ func (t Tuning) withDefaults(channels int) Tuning {
 	}
 	if t.RetryBackoff == 0 {
 		t.RetryBackoff = 10 * time.Millisecond
+	}
+	if t.AgingWait == 0 {
+		t.AgingWait = 500 * time.Millisecond
 	}
 	return t
 }
@@ -129,13 +184,16 @@ type Config struct {
 
 // Route describes where one job ran and why.
 type Route struct {
-	// Lane is "device-<i>" or "cpu".
-	Lane string
+	// Lane is the device channel or obs.LaneCPU.
+	Lane Lane
 	// Executor is the Name() of the executor that produced the result.
 	Executor string
-	// Reason explains a CPU routing ("" when the job ran on a device, or
-	// when the scheduler has devices and chose one by default).
-	Reason string
+	// Reason explains a CPU routing (RouteNone when the job ran on a
+	// device, or when the scheduler has devices and chose one by
+	// default).
+	Reason RouteReason
+	// Priority is the queue priority the job was dispatched with.
+	Priority Priority
 	// DeviceAttempts counts device-lane attempts, including faulted ones.
 	DeviceAttempts int
 	// Faults counts injected faults and timeouts observed by this job.
@@ -143,13 +201,13 @@ type Route struct {
 }
 
 // OnDevice reports whether the job completed on a device channel.
-func (r Route) OnDevice() bool { return r.Lane != "" && r.Lane != "cpu" }
+func (r Route) OnDevice() bool { return r.Lane.IsDevice() }
 
 // Fallback reports whether the job ran on the CPU lane despite device
 // channels being configured — the stat the paper's Fig. 6 "SW compaction"
 // arrow counts. A pure-CPU configuration is not a fallback.
 func (r Route) Fallback() bool {
-	return r.Lane == "cpu" && r.Reason != "" && r.Reason != ReasonNoDevice
+	return r.Lane == obs.LaneCPU && r.Reason != obs.RouteNone && r.Reason != ReasonNoDevice
 }
 
 // Stats is a snapshot of the scheduler's routing counters.
@@ -167,16 +225,29 @@ type Stats struct {
 	// CPU-fallback routings by reason.
 	FallbackFanIn     int64 `json:"fallback_fanin"`
 	FallbackBudget    int64 `json:"fallback_budget"`
+	FallbackArena     int64 `json:"fallback_arena"`
 	FallbackSaturated int64 `json:"fallback_saturated"`
 	FallbackFault     int64 `json:"fallback_fault"`
-	// QueueDepth is the instantaneous device-queue occupancy.
-	QueueDepth int `json:"queue_depth"`
+	// QueueDepth is the instantaneous device-queue occupancy across both
+	// priorities; QueueDepthHigh/QueueDepthLow split it per lane.
+	QueueDepth     int `json:"queue_depth"`
+	QueueDepthHigh int `json:"queue_depth_high"`
+	QueueDepthLow  int `json:"queue_depth_low"`
+	// AgingPromotions counts deep jobs dequeued ahead of a pending L0
+	// backlog because they aged past Tuning.AgingWait.
+	AgingPromotions int64 `json:"aging_promotions"`
+	// ArenaBytes is the summed staging-arena capacity across channels.
+	ArenaBytes int64 `json:"arena_bytes"`
 }
 
 // request is one job handed to a device channel.
 type request struct {
 	job *compaction.Job
 	env compaction.Env
+	pri Priority
+	// queuedAt is when the request entered the queue; the aging rule
+	// compares against it.
+	queuedAt time.Time
 	// dequeued ends the job's dispatch_queue trace span; the channel
 	// calls it once at pickup.
 	dequeued func()
@@ -197,15 +268,23 @@ type deviceResult struct {
 // channel goroutine.
 type Scheduler struct {
 	// Immutable after New.
-	devices  []compaction.Executor
-	cpu      compaction.Executor
-	injector FaultInjector
-	tun      Tuning
-	maxRuns  int
-	queue    chan *request
-	cpuSlots chan struct{} // nil when CPUSlots == 0
-	stop     chan struct{}
-	wg       sync.WaitGroup
+	devices     []compaction.Executor
+	cpu         compaction.Executor
+	injector    FaultInjector
+	tun         Tuning
+	maxRuns     int
+	arenaBytes  int64         // summed channel arena capacity
+	arenaBudget int64         // smallest positive channel input budget
+	qcond       *sync.Cond    // signals queue state changes; locks qmu
+	cpuSlots    chan struct{} // nil when CPUSlots == 0
+	stop        chan struct{}
+	wg          sync.WaitGroup
+
+	qmu        sync.Mutex
+	high       []*request // PriorityL0 jobs, FIFO
+	low        []*request // PriorityDeep jobs, FIFO
+	qclosed    bool
+	promotions int64
 
 	mu     sync.Mutex
 	closed bool
@@ -234,13 +313,19 @@ func New(cfg Config) (*Scheduler, error) {
 		tun:      cfg.Tuning.withDefaults(len(cfg.Devices)),
 		stop:     make(chan struct{}),
 	}
-	// The pool's admission limit is the weakest channel's (0 = unlimited).
+	s.qcond = sync.NewCond(&s.qmu)
+	// The pool's admission limits are the weakest channel's (0 = none).
 	for _, d := range s.devices {
 		if m := d.MaxRuns(); m > 0 && (s.maxRuns == 0 || m < s.maxRuns) {
 			s.maxRuns = m
 		}
+		if az, ok := d.(ArenaSizer); ok {
+			s.arenaBytes += az.ArenaBytes()
+			if b := az.ArenaInputBudget(); b > 0 && (s.arenaBudget == 0 || b < s.arenaBudget) {
+				s.arenaBudget = b
+			}
+		}
 	}
-	s.queue = make(chan *request, s.tun.QueueDepth)
 	if s.tun.CPUSlots > 0 {
 		s.cpuSlots = make(chan struct{}, s.tun.CPUSlots)
 	}
@@ -260,6 +345,10 @@ func (s *Scheduler) Channels() int { return len(s.devices) }
 // MaxRuns returns the device pool's admission fan-in limit (0 unlimited).
 func (s *Scheduler) MaxRuns() int { return s.maxRuns }
 
+// ArenaBudget returns the admission input-bytes bound derived from the
+// channels' staging arenas (0 when no channel has one).
+func (s *Scheduler) ArenaBudget() int64 { return s.arenaBudget }
+
 // Close stops the channel goroutines and fails stranded requests. Safe to
 // call twice. In-flight Execute calls return ErrClosed.
 //
@@ -277,22 +366,100 @@ func (s *Scheduler) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.stop)
+	// Wake channel goroutines blocked in dequeue and enqueue waiters;
+	// both exit on qclosed.
+	s.qmu.Lock()
+	s.qclosed = true
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	s.wg.Wait()
+	// Fail whatever was still queued. The sends happen outside qmu (done
+	// is buffered, but no channel op runs under a held mutex).
+	s.qmu.Lock()
+	stranded := append(s.high, s.low...)
+	s.high, s.low = nil, nil
+	s.qmu.Unlock()
+	for _, req := range stranded {
+		req.done <- deviceResult{err: ErrClosed}
+	}
+	return nil
+}
+
+// enqueue queues req at its priority. ok is false when the queue is full
+// and block is unset (backpressure routing); err is ErrClosed after
+// Close. Blocking waits are woken by dequeues and by Close.
+func (s *Scheduler) enqueue(req *request, block bool) (ok bool, err error) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	for {
-		select {
-		case req := <-s.queue:
-			req.done <- deviceResult{err: ErrClosed}
-		default:
+		if s.qclosed {
+			return false, ErrClosed
+		}
+		if len(s.high)+len(s.low) < s.tun.QueueDepth {
+			break
+		}
+		if !block {
+			return false, nil
+		}
+		s.qcond.Wait()
+	}
+	req.queuedAt = time.Now()
+	if req.pri == PriorityL0 && !s.tun.DisablePriorityLanes {
+		s.high = append(s.high, req)
+	} else {
+		s.low = append(s.low, req)
+	}
+	s.qcond.Broadcast()
+	return true, nil
+}
+
+// dequeue blocks for the next request, honoring priority and the aging
+// rule; it returns nil when the scheduler closes.
+func (s *Scheduler) dequeue() *request {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for {
+		if s.qclosed {
 			return nil
 		}
+		if len(s.high) > 0 || len(s.low) > 0 {
+			break
+		}
+		s.qcond.Wait()
 	}
+	// L0 first; but a deep job that aged past AgingWait at its queue
+	// head goes ahead of the L0 backlog (starvation bound).
+	var req *request
+	aged := len(s.low) > 0 && time.Since(s.low[0].queuedAt) >= s.tun.AgingWait
+	if len(s.high) == 0 || aged {
+		if aged && len(s.high) > 0 {
+			s.promotions++
+		}
+		req = s.low[0]
+		s.low = popFront(s.low)
+	} else {
+		req = s.high[0]
+		s.high = popFront(s.high)
+	}
+	// A slot freed: wake blocked enqueuers.
+	s.qcond.Broadcast()
+	return req
+}
+
+// popFront drops q's head in place, clearing the vacated tail slot so the
+// request doesn't leak through the backing array.
+func popFront(q []*request) []*request {
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
 }
 
 // Execute runs one compaction job through the routing policy and returns
 // the merged result plus the route taken. Blocking: the calling worker
-// owns the job until a lane resolves it.
-func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compaction.Result, Route, error) {
-	var route Route
+// owns the job until a lane resolves it. pri selects the queue priority;
+// PriorityL0 jobs dequeue ahead of PriorityDeep ones.
+func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env, pri Priority) (*compaction.Result, Route, error) {
+	route := Route{Priority: pri}
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -311,6 +478,10 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 		route.Reason = ReasonBudget
 		s.noteFallback(ReasonBudget)
 		return s.runCPU(job, env, &route)
+	case s.arenaBudget > 0 && job.InputBytes() > s.arenaBudget:
+		route.Reason = ReasonArena
+		s.noteFallback(ReasonArena)
+		return s.runCPU(job, env, &route)
 	}
 
 	for attempt := 0; ; attempt++ {
@@ -323,25 +494,20 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 		req := &request{
 			job:      job,
 			env:      env,
+			pri:      pri,
 			dequeued: job.Trace.StartSpan("dispatch_queue"),
 			done:     done,
 		}
-		if attempt == 0 {
-			// First admission never blocks: a saturated device pool means
-			// the CPU lane is the faster path (backpressure routing).
-			select {
-			case s.queue <- req:
-			default:
-				route.Reason = ReasonSaturated
-				s.noteFallback(ReasonSaturated)
-				return s.runCPU(job, env, &route)
-			}
-		} else {
-			select {
-			case s.queue <- req:
-			case <-s.stop:
-				return nil, route, ErrClosed
-			}
+		// First admission never blocks: a saturated device pool means
+		// the CPU lane is the faster path (backpressure routing).
+		ok, err := s.enqueue(req, attempt > 0)
+		if err != nil {
+			return nil, route, err
+		}
+		if !ok {
+			route.Reason = ReasonSaturated
+			s.noteFallback(ReasonSaturated)
+			return s.runCPU(job, env, &route)
 		}
 		route.DeviceAttempts++
 		var r deviceResult
@@ -352,17 +518,25 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 		}
 		switch {
 		case r.err == nil:
-			route.Lane = laneName(r.lane)
+			route.Lane = obs.DeviceLane(r.lane)
 			route.Executor = s.devices[r.lane].Name()
 			s.noteDeviceJob(r.lane)
 			return r.res, route, nil
 		case errors.Is(r.err, ErrClosed):
 			return nil, route, r.err
+		case errors.Is(r.err, compaction.ErrArenaExhausted):
+			// The channel's staging arena could not hold the job — a
+			// deterministic property of the job's shape, not flakiness:
+			// rerunning on a device would fail the same way, so route to
+			// the CPU lane without burning retries.
+			route.Reason = ReasonArena
+			s.noteFallback(ReasonArena)
+			return s.runCPU(job, env, &route)
 		case !errors.Is(r.err, ErrDeviceFault) && !errors.Is(r.err, ErrDeviceTimeout):
 			// A genuine merge failure (corrupt input, disk full) is not
 			// device flakiness; masking it behind a CPU retry would hide
 			// data errors, so it surfaces to the caller as-is.
-			route.Lane = laneName(r.lane)
+			route.Lane = obs.DeviceLane(r.lane)
 			route.Executor = s.devices[r.lane].Name()
 			return nil, route, r.err
 		}
@@ -379,7 +553,7 @@ func (s *Scheduler) Execute(job *compaction.Job, env compaction.Env) (*compactio
 
 // runCPU executes the job on the software lane.
 func (s *Scheduler) runCPU(job *compaction.Job, env compaction.Env, route *Route) (*compaction.Result, Route, error) {
-	route.Lane = "cpu"
+	route.Lane = obs.LaneCPU
 	route.Executor = s.cpu.Name()
 	if s.cpuSlots != nil {
 		select {
@@ -396,19 +570,18 @@ func (s *Scheduler) runCPU(job *compaction.Job, env compaction.Env, route *Route
 	return res, *route, err
 }
 
-// channelLoop is one device channel: it drains the shared queue and runs
-// attempts on its own executor instance.
+// channelLoop is one device channel: it drains the priority queue and
+// runs attempts on its own executor instance.
 func (s *Scheduler) channelLoop(lane int) {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.stop:
+		req := s.dequeue()
+		if req == nil {
 			return
-		case req := <-s.queue:
-			req.dequeued()
-			res, err := s.deviceAttempt(lane, req)
-			req.done <- deviceResult{res: res, lane: lane, err: err}
 		}
+		req.dequeued()
+		res, err := s.deviceAttempt(lane, req)
+		req.done <- deviceResult{res: res, lane: lane, err: err}
 	}
 }
 
@@ -472,15 +645,22 @@ func (s *Scheduler) sleep(d time.Duration) bool {
 	}
 }
 
-func laneName(lane int) string { return fmt.Sprintf("device-%d", lane) }
+func laneName(lane int) string { return obs.DeviceLane(lane).String() }
 
-// Stats returns a snapshot of the routing counters.
+// Stats returns a snapshot of the routing counters. The two mutexes are
+// taken in sequence, never nested.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := s.st
 	out.LaneJobs = append([]int64(nil), s.st.LaneJobs...)
-	out.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	s.qmu.Lock()
+	out.QueueDepthHigh = len(s.high)
+	out.QueueDepthLow = len(s.low)
+	out.QueueDepth = len(s.high) + len(s.low)
+	out.AgingPromotions = s.promotions
+	s.qmu.Unlock()
+	out.ArenaBytes = s.arenaBytes
 	return out
 }
 
@@ -515,7 +695,7 @@ func (s *Scheduler) noteRetry() {
 	s.st.Retries++
 }
 
-func (s *Scheduler) noteFallback(reason string) {
+func (s *Scheduler) noteFallback(reason RouteReason) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch reason {
@@ -523,6 +703,8 @@ func (s *Scheduler) noteFallback(reason string) {
 		s.st.FallbackFanIn++
 	case ReasonBudget:
 		s.st.FallbackBudget++
+	case ReasonArena:
+		s.st.FallbackArena++
 	case ReasonSaturated:
 		s.st.FallbackSaturated++
 	case ReasonFault:
@@ -533,8 +715,9 @@ func (s *Scheduler) noteFallback(reason string) {
 // PublishMetrics implements obs.MetricsPublisher: routing counters appear
 // as callback gauges (dispatch_device_jobs, dispatch_cpu_jobs,
 // dispatch_lane<i>_jobs, dispatch_faults, dispatch_timeouts,
-// dispatch_retries, dispatch_fallback_{fanin,budget,saturated,fault},
-// dispatch_queue_depth).
+// dispatch_retries, dispatch_fallback_{fanin,budget,arena,saturated,fault},
+// dispatch_queue_depth, dispatch_queue_high, dispatch_queue_low,
+// dispatch_aging_promotions, dispatch_arena_bytes).
 func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 	stat := func(pick func(Stats) float64) func() float64 {
 		return func() float64 { return pick(s.Stats()) }
@@ -546,9 +729,14 @@ func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 	r.GaugeFunc("dispatch_retries", stat(func(st Stats) float64 { return float64(st.Retries) }))
 	r.GaugeFunc("dispatch_fallback_fanin", stat(func(st Stats) float64 { return float64(st.FallbackFanIn) }))
 	r.GaugeFunc("dispatch_fallback_budget", stat(func(st Stats) float64 { return float64(st.FallbackBudget) }))
+	r.GaugeFunc("dispatch_fallback_arena", stat(func(st Stats) float64 { return float64(st.FallbackArena) }))
 	r.GaugeFunc("dispatch_fallback_saturated", stat(func(st Stats) float64 { return float64(st.FallbackSaturated) }))
 	r.GaugeFunc("dispatch_fallback_fault", stat(func(st Stats) float64 { return float64(st.FallbackFault) }))
 	r.GaugeFunc("dispatch_queue_depth", stat(func(st Stats) float64 { return float64(st.QueueDepth) }))
+	r.GaugeFunc("dispatch_queue_high", stat(func(st Stats) float64 { return float64(st.QueueDepthHigh) }))
+	r.GaugeFunc("dispatch_queue_low", stat(func(st Stats) float64 { return float64(st.QueueDepthLow) }))
+	r.GaugeFunc("dispatch_aging_promotions", stat(func(st Stats) float64 { return float64(st.AgingPromotions) }))
+	r.GaugeFunc("dispatch_arena_bytes", stat(func(st Stats) float64 { return float64(st.ArenaBytes) }))
 	for i := range s.devices {
 		lane := i
 		r.GaugeFunc(fmt.Sprintf("dispatch_lane%d_jobs", lane), func() float64 {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fcae/internal/compaction"
+	"fcae/internal/obs"
 )
 
 // fakeExec is a scriptable device/CPU executor.
@@ -91,11 +92,11 @@ func TestRoutingTable(t *testing.T) {
 	t.Run("no-device", func(t *testing.T) {
 		cpu := &fakeExec{name: "cpu"}
 		s := newTestSched(t, Config{CPU: cpu})
-		_, route, err := s.Execute(testJob(2), &nullEnv{})
+		_, route, err := s.Execute(testJob(2), &nullEnv{}, PriorityDeep)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
-		if route.Lane != "cpu" || route.Reason != ReasonNoDevice || route.Fallback() {
+		if route.Lane != obs.LaneCPU || route.Reason != ReasonNoDevice || route.Fallback() {
 			t.Fatalf("route = %+v, want cpu lane, reason %q, not a fallback", route, ReasonNoDevice)
 		}
 		if cpu.calls.Load() != 1 {
@@ -107,11 +108,11 @@ func TestRoutingTable(t *testing.T) {
 		dev := &fakeExec{name: "fcae", maxRuns: 4}
 		cpu := &fakeExec{name: "cpu"}
 		s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
-		_, route, err := s.Execute(testJob(2), &nullEnv{})
+		_, route, err := s.Execute(testJob(2), &nullEnv{}, PriorityDeep)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
-		if !route.OnDevice() || route.Lane != "device-0" || route.Executor != "fcae" || route.Reason != "" {
+		if !route.OnDevice() || route.Lane != obs.DeviceLane(0) || route.Executor != "fcae" || route.Reason != obs.RouteNone {
 			t.Fatalf("route = %+v, want device-0/fcae", route)
 		}
 		if dev.calls.Load() != 1 || cpu.calls.Load() != 0 {
@@ -123,7 +124,7 @@ func TestRoutingTable(t *testing.T) {
 		dev := &fakeExec{name: "fcae", maxRuns: 4}
 		cpu := &fakeExec{name: "cpu"}
 		s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
-		_, route, err := s.Execute(testJob(5), &nullEnv{})
+		_, route, err := s.Execute(testJob(5), &nullEnv{}, PriorityDeep)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
@@ -145,7 +146,7 @@ func TestRoutingTable(t *testing.T) {
 			CPU:     &fakeExec{name: "cpu"},
 			Tuning:  Tuning{DeviceImageBudget: 1 << 10}, // one 1KiB table already at the cap
 		})
-		_, route, err := s.Execute(testJob(2), &nullEnv{}) // 2KiB input > 1KiB budget
+		_, route, err := s.Execute(testJob(2), &nullEnv{}, PriorityDeep) // 2KiB input > 1KiB budget
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
@@ -175,7 +176,7 @@ func TestRoutingTable(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, _ = s.Execute(testJob(1), &nullEnv{})
+			_, _, _ = s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 		}()
 		deadline := time.Now().Add(5 * time.Second)
 		for dev.calls.Load() == 0 { // channel busy, queue empty
@@ -187,7 +188,7 @@ func TestRoutingTable(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, _ = s.Execute(testJob(1), &nullEnv{})
+			_, _, _ = s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 		}()
 		for s.Stats().QueueDepth < 1 { // second job parked in the queue
 			if time.Now().After(deadline) {
@@ -195,7 +196,7 @@ func TestRoutingTable(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		_, route, err := s.Execute(testJob(1), &nullEnv{})
+		_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
@@ -220,7 +221,7 @@ func TestFaultRetryThenSuccess(t *testing.T) {
 		Injector: NewScriptInjector(Fault{Kind: FaultError}),
 		Tuning:   Tuning{RetryBackoff: time.Millisecond},
 	})
-	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -247,7 +248,7 @@ func TestFaultExhaustionFallsBack(t *testing.T) {
 		Injector: NewScriptInjector(Fault{Kind: FaultError}, Fault{Kind: FaultError}),
 		Tuning:   Tuning{RetryBackoff: time.Millisecond},
 	})
-	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -272,7 +273,7 @@ func TestWriteFaultMidMerge(t *testing.T) {
 		Injector: NewScriptInjector(Fault{Kind: FaultWrite, FailAfterBytes: 100}),
 		Tuning:   Tuning{RetryBackoff: time.Millisecond},
 	})
-	res, route, err := s.Execute(testJob(1), &nullEnv{})
+	res, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -295,7 +296,7 @@ func TestStallTimesOut(t *testing.T) {
 		Tuning:   Tuning{DeviceDeadline: 20 * time.Millisecond, RetryBackoff: time.Millisecond},
 	})
 	start := time.Now()
-	_, route, err := s.Execute(testJob(1), &nullEnv{})
+	_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -318,7 +319,7 @@ func TestGenuineErrorNotMasked(t *testing.T) {
 	dev := &fakeExec{name: "fcae", err: realErr}
 	cpu := &fakeExec{name: "cpu"}
 	s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
-	_, _, err := s.Execute(testJob(1), &nullEnv{})
+	_, _, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
 	if !errors.Is(err, realErr) {
 		t.Fatalf("err = %v, want the genuine merge error", err)
 	}
@@ -339,7 +340,7 @@ func TestExecuteAfterClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if _, _, err := s.Execute(testJob(1), &nullEnv{}); !errors.Is(err, ErrClosed) {
+	if _, _, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Execute after Close = %v, want ErrClosed", err)
 	}
 }
@@ -366,7 +367,7 @@ func TestChannelsRunConcurrently(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := s.Execute(testJob(1), &nullEnv{}); err != nil {
+			if _, _, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep); err != nil {
 				t.Errorf("Execute: %v", err)
 			}
 		}()
@@ -392,6 +393,222 @@ func (e *trackingExec) Compact(job *compaction.Job, env compaction.Env) (*compac
 	return e.fakeExec.Compact(job, env)
 }
 
+// gateExec records Compact order and blocks every merge until the gate
+// closes, so tests can park jobs in the priority queue deterministically.
+type gateExec struct {
+	fakeExec
+	gate chan struct{}
+
+	mu    sync.Mutex
+	order []uint64 // first input table number of each Compact, in call order
+}
+
+func (e *gateExec) Compact(job *compaction.Job, env compaction.Env) (*compaction.Result, error) {
+	e.mu.Lock()
+	e.order = append(e.order, job.Runs[0][0].Num)
+	e.mu.Unlock()
+	<-e.gate
+	return e.fakeExec.Compact(job, env)
+}
+
+func (e *gateExec) callOrder() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]uint64(nil), e.order...)
+}
+
+// testJobNum is testJob(1) with a chosen table number, so gateExec can
+// tell queued jobs apart.
+func testJobNum(num uint64) *compaction.Job {
+	return &compaction.Job{Runs: [][]compaction.Table{{{Num: num, Size: 1 << 10}}}}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPriorityOrdering proves a queued L0 job is dispatched before a deep
+// job that was enqueued earlier: job 1 occupies the single channel, job 2
+// (deep) parks in the low lane, job 3 (L0) arrives later but runs first.
+func TestPriorityOrdering(t *testing.T) {
+	dev := &gateExec{fakeExec: fakeExec{name: "fcae", maxRuns: 4}, gate: make(chan struct{})}
+	s := newTestSched(t, Config{
+		Devices: []compaction.Executor{dev},
+		CPU:     &fakeExec{name: "cpu"},
+		Tuning:  Tuning{QueueDepth: 4, AgingWait: time.Hour},
+	})
+	var wg sync.WaitGroup
+	run := func(num uint64, pri Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Execute(testJobNum(num), &nullEnv{}, pri); err != nil {
+				t.Errorf("Execute(%d): %v", num, err)
+			}
+		}()
+	}
+	run(1, PriorityDeep)
+	waitFor(t, "job 1 on the channel", func() bool { return len(dev.callOrder()) == 1 })
+	run(2, PriorityDeep)
+	waitFor(t, "job 2 queued low", func() bool { return s.Stats().QueueDepthLow == 1 })
+	run(3, PriorityL0)
+	waitFor(t, "job 3 queued high", func() bool { return s.Stats().QueueDepthHigh == 1 })
+	close(dev.gate)
+	wg.Wait()
+	if got := dev.callOrder(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 2 {
+		t.Fatalf("device order = %v, want [1 3 2] (L0 job 3 ahead of earlier deep job 2)", got)
+	}
+	if got := s.Stats().AgingPromotions; got != 0 {
+		t.Fatalf("AgingPromotions = %d, want 0", got)
+	}
+}
+
+// TestAgingPromotion proves the starvation bound: a deep job that waited
+// past AgingWait dequeues ahead of a younger L0 backlog.
+func TestAgingPromotion(t *testing.T) {
+	dev := &gateExec{fakeExec: fakeExec{name: "fcae", maxRuns: 4}, gate: make(chan struct{})}
+	s := newTestSched(t, Config{
+		Devices: []compaction.Executor{dev},
+		CPU:     &fakeExec{name: "cpu"},
+		Tuning:  Tuning{QueueDepth: 4, AgingWait: 30 * time.Millisecond},
+	})
+	var wg sync.WaitGroup
+	run := func(num uint64, pri Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Execute(testJobNum(num), &nullEnv{}, pri); err != nil {
+				t.Errorf("Execute(%d): %v", num, err)
+			}
+		}()
+	}
+	run(1, PriorityDeep)
+	waitFor(t, "job 1 on the channel", func() bool { return len(dev.callOrder()) == 1 })
+	run(2, PriorityDeep)
+	waitFor(t, "job 2 queued low", func() bool { return s.Stats().QueueDepthLow == 1 })
+	time.Sleep(60 * time.Millisecond) // job 2 ages past AgingWait
+	run(3, PriorityL0)
+	waitFor(t, "job 3 queued high", func() bool { return s.Stats().QueueDepthHigh == 1 })
+	close(dev.gate)
+	wg.Wait()
+	if got := dev.callOrder(); len(got) != 3 || got[1] != 2 {
+		t.Fatalf("device order = %v, want aged deep job 2 ahead of L0 job 3", got)
+	}
+	if got := s.Stats().AgingPromotions; got != 1 {
+		t.Fatalf("AgingPromotions = %d, want 1", got)
+	}
+}
+
+// TestPriorityDisabled proves DisablePriorityLanes restores plain FIFO:
+// an L0 job queues behind the earlier deep job.
+func TestPriorityDisabled(t *testing.T) {
+	dev := &gateExec{fakeExec: fakeExec{name: "fcae", maxRuns: 4}, gate: make(chan struct{})}
+	s := newTestSched(t, Config{
+		Devices: []compaction.Executor{dev},
+		CPU:     &fakeExec{name: "cpu"},
+		Tuning:  Tuning{QueueDepth: 4, AgingWait: time.Hour, DisablePriorityLanes: true},
+	})
+	var wg sync.WaitGroup
+	run := func(num uint64, pri Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Execute(testJobNum(num), &nullEnv{}, pri); err != nil {
+				t.Errorf("Execute(%d): %v", num, err)
+			}
+		}()
+	}
+	run(1, PriorityDeep)
+	waitFor(t, "job 1 on the channel", func() bool { return len(dev.callOrder()) == 1 })
+	run(2, PriorityDeep)
+	waitFor(t, "job 2 queued", func() bool { return s.Stats().QueueDepthLow == 1 })
+	run(3, PriorityL0)
+	waitFor(t, "job 3 queued", func() bool { return s.Stats().QueueDepthLow == 2 })
+	if got := s.Stats().QueueDepthHigh; got != 0 {
+		t.Fatalf("QueueDepthHigh = %d, want 0 with lanes disabled", got)
+	}
+	close(dev.gate)
+	wg.Wait()
+	if got := dev.callOrder(); len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("device order = %v, want FIFO [1 2 3]", got)
+	}
+}
+
+// arenaExec is a fakeExec that reports a staging arena, implementing the
+// scheduler's ArenaSizer.
+type arenaExec struct {
+	fakeExec
+	arenaBytes  int64
+	inputBudget int64
+}
+
+func (e *arenaExec) ArenaBytes() int64       { return e.arenaBytes }
+func (e *arenaExec) ArenaInputBudget() int64 { return e.inputBudget }
+
+// TestArenaAdmission proves a job larger than the channels' staging
+// arenas routes straight to the CPU lane without a device attempt.
+func TestArenaAdmission(t *testing.T) {
+	dev := &arenaExec{fakeExec: fakeExec{name: "fcae", maxRuns: 4}, arenaBytes: 1 << 20, inputBudget: 512}
+	cpu := &fakeExec{name: "cpu"}
+	s := newTestSched(t, Config{Devices: []compaction.Executor{dev}, CPU: cpu})
+	if got := s.ArenaBudget(); got != 512 {
+		t.Fatalf("ArenaBudget = %d, want 512", got)
+	}
+	_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep) // 1KiB input > 512B budget
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.Fallback() || route.Reason != ReasonArena || route.Lane != obs.LaneCPU {
+		t.Fatalf("route = %+v, want CPU fallback with reason %q", route, ReasonArena)
+	}
+	if dev.calls.Load() != 0 || cpu.calls.Load() != 1 {
+		t.Fatalf("calls dev=%d cpu=%d, want 0/1 (admission must not touch the device)", dev.calls.Load(), cpu.calls.Load())
+	}
+	st := s.Stats()
+	if st.FallbackArena != 1 {
+		t.Fatalf("FallbackArena = %d, want 1", st.FallbackArena)
+	}
+	if st.ArenaBytes != 1<<20 {
+		t.Fatalf("Stats().ArenaBytes = %d, want %d", st.ArenaBytes, 1<<20)
+	}
+}
+
+// TestArenaExhaustedFallsBack proves a device-side arena overflow routes
+// to the CPU lane deterministically: one attempt, no retries.
+func TestArenaExhaustedFallsBack(t *testing.T) {
+	dev := &fakeExec{name: "fcae", err: fmt.Errorf("stage run 0: %w", compaction.ErrArenaExhausted)}
+	cpu := &fakeExec{name: "cpu"}
+	s := newTestSched(t, Config{
+		Devices: []compaction.Executor{dev},
+		CPU:     cpu,
+		Tuning:  Tuning{RetryBackoff: time.Millisecond},
+	})
+	_, route, err := s.Execute(testJob(1), &nullEnv{}, PriorityDeep)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !route.Fallback() || route.Reason != ReasonArena {
+		t.Fatalf("route = %+v, want CPU fallback with reason %q", route, ReasonArena)
+	}
+	if route.DeviceAttempts != 1 || dev.calls.Load() != 1 {
+		t.Fatalf("attempts=%d devCalls=%d, want exactly one device attempt (no retries on a deterministic overflow)", route.DeviceAttempts, dev.calls.Load())
+	}
+	if cpu.calls.Load() != 1 {
+		t.Fatalf("cpu calls = %d, want 1", cpu.calls.Load())
+	}
+	st := s.Stats()
+	if st.FallbackArena != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want 1 arena fallback and 0 retries", st)
+	}
+}
+
 // TestTuningValidate covers the rejection paths.
 func TestTuningValidate(t *testing.T) {
 	bad := []Tuning{
@@ -401,6 +618,7 @@ func TestTuningValidate(t *testing.T) {
 		{RetryBackoff: -time.Millisecond},
 		{DeviceImageBudget: -1},
 		{CPUSlots: -1},
+		{AgingWait: -time.Second},
 	}
 	for i, tn := range bad {
 		if err := tn.Validate(); err == nil {

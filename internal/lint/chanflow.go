@@ -483,7 +483,7 @@ type chanLockBody struct {
 	name   string
 	blocks bool // performs a blocking channel op directly
 	// ops/calls carry the held-lock snapshot for reporting.
-	ops   []struct {
+	ops []struct {
 		pos  token.Pos
 		what string
 		held []string

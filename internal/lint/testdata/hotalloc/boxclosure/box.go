@@ -9,7 +9,7 @@ type meter struct {
 	names string
 }
 
-func (m *meter) observe(v any)  { _ = v }
+func (m *meter) observe(v any) { _ = v }
 func (m *meter) each(f func()) { f() }
 
 // account is the cycle-accounted loop.

@@ -85,6 +85,31 @@ func (db *DB) Checkpoint(dest string) error {
 	return vs.Close()
 }
 
+// DisableFileDeletions suspends the obsolete-file sweep so an external
+// tool can copy the directory while the store stays live (hot backup).
+// Calls nest; each must be matched by EnableFileDeletions. While held,
+// obsolete tables, WALs and manifests accumulate but are never unlinked,
+// so any file a copied manifest prefix references remains readable.
+func (db *DB) DisableFileDeletions() {
+	db.mu.Lock()
+	db.holdDeletions++
+	db.mu.Unlock()
+}
+
+// EnableFileDeletions releases one DisableFileDeletions hold; dropping
+// the last hold runs the suppressed sweep immediately.
+func (db *DB) EnableFileDeletions() {
+	db.mu.Lock()
+	if db.holdDeletions > 0 {
+		db.holdDeletions--
+		if db.holdDeletions == 0 && !db.closed {
+			db.deleteObsoleteFilesLocked()
+		}
+	}
+	db.mu.Unlock()
+	db.flushEvents()
+}
+
 func copyFile(src, dst string) error {
 	in, err := os.Open(src)
 	if err != nil {

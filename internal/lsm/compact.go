@@ -15,43 +15,84 @@ import (
 	"fcae/internal/sstable"
 )
 
-// flushWorker turns immutable memtables into L0 tables (the first type of
-// compaction, paper §II-A). It runs on its own goroutine so that — as in
-// the paper's FCAE schedule (§VI-A) — flushes proceed while a merge
-// compaction is executing on the engine.
-func (db *DB) flushWorker() {
+// poolWorker is one goroutine of the shared flush/compaction pool
+// (DispatchConfig.Workers instances). Flushes are the highest priority: a
+// worker always drains a pending memtable before picking a merge
+// compaction, mirroring the dispatch scheduler's L0-first lane so that —
+// as in the paper's FCAE schedule (§VI-A) — flushes proceed while merge
+// compactions execute on the engine. Merge compactions each claim their
+// input and output levels under db.mu (busyLevels), so in-flight jobs
+// never share a level and therefore never reference the same files — a
+// W-worker pool keeps up to W-1 device channels busy while the manifest
+// path stays serialized under db.mu.
+func (db *DB) poolWorker() {
 	defer db.wg.Done()
 	db.mu.Lock()
 	for {
-		for !db.closed && db.bgErr == nil && db.imm == nil {
-			db.bgCond.Wait()
-		}
 		if db.closed || db.bgErr != nil {
 			db.bgCond.Broadcast()
 			db.mu.Unlock()
 			db.flushEvents()
 			return
 		}
-		db.flushBusy = true
-		imm := db.imm
-		if err := db.flushMem(imm, db.nextJobIDLocked()); err != nil {
-			db.bgErr = err
-			db.queueEventLocked(func(l obs.EventListener) {
-				l.BackgroundError(obs.BackgroundErrorEvent{Op: "flush", Err: err})
-			})
-		} else {
-			db.imm = nil
+		if db.imm != nil && !db.flushBusy {
+			db.runFlushLocked()
+			continue
 		}
-		db.deleteObsoleteFilesLocked()
-		// Deliver outside the mutex. flushBusy stays set until delivery
-		// completes, so Flush/WaitIdle/Close returning implies the
-		// listener has observed this flush.
-		db.mu.Unlock()
-		db.flushEvents()
-		db.mu.Lock()
-		db.flushBusy = false
-		db.bgCond.Broadcast()
+		if c := db.pickCompactionLocked(); c != nil {
+			// Claim c's levels, execute it through the dispatch scheduler
+			// and deliver its events. db.mu is released during the merge
+			// (runCompaction drops it around the device round-trip) and
+			// during event delivery.
+			db.setLevelClaimsLocked(c, true)
+			db.compacting++
+			err := db.runCompaction(c)
+			if err != nil {
+				db.bgErr = err
+				db.queueEventLocked(func(l obs.EventListener) {
+					l.BackgroundError(obs.BackgroundErrorEvent{Op: "compaction", Err: err})
+				})
+			}
+			db.setLevelClaimsLocked(c, false)
+			db.deleteObsoleteFilesLocked()
+			// Deliver outside the mutex; compacting stays raised until
+			// delivery completes so CompactLevel/WaitIdle/Close imply
+			// delivery.
+			db.mu.Unlock()
+			db.flushEvents()
+			db.mu.Lock()
+			db.compacting--
+			db.bgCond.Broadcast()
+			continue
+		}
+		db.bgCond.Wait()
 	}
+}
+
+// runFlushLocked drains db.imm into an L0 table (the first type of
+// compaction, paper §II-A). Callers hold db.mu with db.imm != nil and
+// !db.flushBusy; the mutex is released during the table build and event
+// delivery and held again on return.
+func (db *DB) runFlushLocked() {
+	db.flushBusy = true
+	imm := db.imm
+	if err := db.flushMem(imm, db.nextJobIDLocked()); err != nil {
+		db.bgErr = err
+		db.queueEventLocked(func(l obs.EventListener) {
+			l.BackgroundError(obs.BackgroundErrorEvent{Op: "flush", Err: err})
+		})
+	} else {
+		db.imm = nil
+	}
+	db.deleteObsoleteFilesLocked()
+	// Deliver outside the mutex. flushBusy stays set until delivery
+	// completes, so Flush/WaitIdle/Close returning implies the
+	// listener has observed this flush.
+	db.mu.Unlock()
+	db.flushEvents()
+	db.mu.Lock()
+	db.flushBusy = false
+	db.bgCond.Broadcast()
 }
 
 // flushMem writes mem as an L0 table and logs the edit. Callers hold
@@ -153,64 +194,44 @@ func (db *DB) buildTable(num uint64, mem *memtable.MemTable) (*manifest.FileMeta
 	}, nil
 }
 
-// compactWorker schedules and executes merge compactions (the second type,
-// paper §II-A) through the dispatch scheduler. Options.CompactionWorkers
-// instances run concurrently: each claims its job's input and output
-// levels under db.mu (busyLevels), so in-flight jobs never share a level
-// and therefore never reference the same files — N workers keep N device
-// channels busy while the manifest path stays serialized under db.mu.
-func (db *DB) compactWorker() {
-	defer db.wg.Done()
-	db.mu.Lock()
-	for {
-		var c *manifest.Compaction
-		for {
-			if db.closed || db.bgErr != nil {
-				db.bgCond.Broadcast()
-				db.mu.Unlock()
-				db.flushEvents()
-				return
-			}
-			if db.manualLevel >= 0 {
-				if c = db.vs.PickCompactionAtLevel(db.manualLevel); c == nil {
-					db.manualLevel = -1
-					db.bgCond.Broadcast()
-					continue
-				}
-				if !db.levelRangeFreeLocked(c.Level, c.OutputLevel()) {
-					// Another worker owns one of the levels; the manual
-					// request stays posted until it can be claimed.
-					c = nil
-					db.bgCond.Wait()
-					continue
-				}
-				db.manualLevel = -1
-				break
-			}
-			if c = db.vs.PickCompactionFiltered(db.levelRangeFreeLocked); c != nil {
-				break
-			}
-			db.bgCond.Wait()
-		}
-		db.setLevelClaimsLocked(c, true)
-		db.compacting++
-		err := db.runCompaction(c)
-		if err != nil {
-			db.bgErr = err
-			db.queueEventLocked(func(l obs.EventListener) {
-				l.BackgroundError(obs.BackgroundErrorEvent{Op: "compaction", Err: err})
-			})
-		}
-		db.setLevelClaimsLocked(c, false)
-		db.deleteObsoleteFilesLocked()
-		// Deliver outside the mutex; compacting stays raised until delivery
-		// completes so CompactLevel/WaitIdle/Close imply delivery.
-		db.mu.Unlock()
-		db.flushEvents()
-		db.mu.Lock()
-		db.compacting--
-		db.bgCond.Broadcast()
+// maxCompactingLocked bounds concurrent merge compactions. With more than
+// one pool worker, one slot stays reserved for flushes so a full set of
+// merges cannot wedge memtable rotation; a single-worker pool gets its one
+// slot back — poolWorker's flush preference keeps flushes live between
+// jobs. Callers hold db.mu.
+func (db *DB) maxCompactingLocked() int {
+	if db.poolSize > 1 {
+		return db.poolSize - 1
 	}
+	return db.poolSize
+}
+
+// pickCompactionLocked returns the next claimable merge compaction (the
+// second type, paper §II-A), or nil when none is runnable. Callers hold
+// db.mu; level claims for the returned compaction are taken by the
+// poolWorker loop, not here.
+func (db *DB) pickCompactionLocked() *manifest.Compaction {
+	if db.compacting >= db.maxCompactingLocked() {
+		return nil
+	}
+	if db.manualLevel >= 0 {
+		c := db.vs.PickCompactionAtLevel(db.manualLevel)
+		switch {
+		case c == nil:
+			// The requested level emptied before a worker got here; drop
+			// the request and fall through to the size/seek picker.
+			db.manualLevel = -1
+			db.bgCond.Broadcast()
+		case db.levelRangeFreeLocked(c.Level, c.OutputLevel()):
+			db.manualLevel = -1
+			return c
+		default:
+			// Another worker owns one of the levels; the manual request
+			// stays posted until it can be claimed.
+			return nil
+		}
+	}
+	return db.vs.PickCompactionFiltered(db.levelRangeFreeLocked)
 }
 
 // levelRangeFreeLocked reports whether a compaction reading level and
@@ -267,12 +288,20 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 	inputs := tableInfos(c.Inputs[0], c.Level)
 	inputs = append(inputs, tableInfos(c.Inputs[1], c.Level+1)...)
 
+	// L0 compactions ride the dispatcher's high-priority lane: they gate
+	// flushes (and therefore writes), so they must not queue behind deep
+	// merges (paper §VI-A).
+	pri := dispatch.PriorityDeep
+	if c.Level == 0 {
+		pri = dispatch.PriorityL0
+	}
+
 	if !c.Tiered && c.IsTrivialMove() {
 		f := c.Inputs[0][0]
 		db.queueEventLocked(func(l obs.EventListener) {
 			l.CompactionBegin(obs.CompactionBeginEvent{
 				JobID: jobID, Level: c.Level, OutputLevel: c.Level + 1,
-				TrivialMove: true, Inputs: inputs,
+				TrivialMove: true, Priority: pri, Inputs: inputs,
 			})
 		})
 		edit := &manifest.VersionEdit{}
@@ -293,7 +322,7 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 		db.queueEventLocked(func(l obs.EventListener) {
 			l.CompactionEnd(obs.CompactionEndEvent{
 				JobID: jobID, Level: c.Level, OutputLevel: c.Level + 1,
-				TrivialMove: true, Inputs: inputs,
+				TrivialMove: true, Priority: pri, Inputs: inputs,
 				Outputs: []obs.TableInfo{movedInfo},
 				Wall:    wall, Err: moveErr,
 			})
@@ -304,7 +333,8 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 	outLevel := c.OutputLevel()
 	db.queueEventLocked(func(l obs.EventListener) {
 		l.CompactionBegin(obs.CompactionBeginEvent{
-			JobID: jobID, Level: c.Level, OutputLevel: outLevel, Inputs: inputs,
+			JobID: jobID, Level: c.Level, OutputLevel: outLevel,
+			Priority: pri, Inputs: inputs,
 		})
 	})
 	tr := obs.NewTrace()
@@ -321,6 +351,7 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 				JobID: jobID, Level: c.Level, OutputLevel: outLevel,
 				Executor: route.Executor, Fallback: route.Fallback(),
 				Lane: route.Lane, RouteReason: route.Reason,
+				Priority:       pri,
 				DeviceAttempts: route.DeviceAttempts,
 				Inputs:         inputs, Outputs: outputs,
 				PairsIn: cstats.PairsIn, PairsOut: cstats.PairsOut,
@@ -396,7 +427,7 @@ func (db *DB) runCompaction(c *manifest.Compaction) (err error) {
 	// route to software) and owns retry/fallback when a channel faults.
 	mergeDone := tr.StartSpan("merge")
 	var res *compaction.Result
-	res, route, err = db.sched.Execute(job, env)
+	res, route, err = db.sched.Execute(job, env, pri)
 	mergeDone()
 	db.mu.Lock()
 	defer func() {
@@ -573,6 +604,9 @@ func (db *DB) WaitIdle() error {
 // deleteObsoleteFiles removes files no longer referenced by the version
 // state. Called with db.mu held.
 func (db *DB) deleteObsoleteFilesLocked() {
+	if db.holdDeletions > 0 {
+		return // an external backup is copying the directory
+	}
 	entries, err := os.ReadDir(db.dir)
 	if err != nil {
 		return

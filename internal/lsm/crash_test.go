@@ -53,7 +53,12 @@ func TestCrashRecoveryFromLiveSnapshots(t *testing.T) {
 		// Record the committed floor BEFORE copying: everything up to
 		// this point was acknowledged before the "crash".
 		floor := committed.Load()
-		if err := copyDirLive(dir, snap); err != nil {
+		// Hold the obsolete-file sweep for the copy so it observes the
+		// crash invariant (see copyDirLive).
+		db.DisableFileDeletions()
+		err := copyDirLive(dir, snap)
+		db.EnableFileDeletions()
+		if err != nil {
 			t.Fatal(err)
 		}
 		snaps = append(snaps, snap)
@@ -106,30 +111,48 @@ func TestCrashRecoveryFromLiveSnapshots(t *testing.T) {
 	}
 }
 
-// copyDirLive copies a directory that is being actively written: partial
-// or vanished files are tolerated (that is the point — it approximates the
-// on-disk state at a crash).
+// copyDirLive copies a directory that is being actively written,
+// approximating the on-disk state at a crash: torn file tails are
+// tolerated. CURRENT and the manifests are copied BEFORE the data files,
+// and the caller holds DisableFileDeletions around the whole copy. That
+// pair reproduces the invariant a real crash preserves: a table or WAL is
+// synced before the manifest edit referencing it, so every file the
+// copied manifest prefix references existed when the prefix was captured
+// — and, with deletions held, still exists when the second pass reaches
+// it. Files created after the manifest copy appear as unreferenced
+// extras, exactly as after a crash, and recovery's sweep removes them.
 func copyDirLive(src, dst string) error {
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		return err
 	}
-	entries, err := os.ReadDir(src)
-	if err != nil {
-		return err
-	}
-	for _, e := range entries {
-		in, err := os.Open(filepath.Join(src, e.Name()))
+	pass := func(manifests bool) error {
+		entries, err := os.ReadDir(src)
 		if err != nil {
-			continue // deleted mid-copy: like a crash after the unlink
-		}
-		out, err := os.Create(filepath.Join(dst, e.Name()))
-		if err != nil {
-			in.Close()
 			return err
 		}
-		_, _ = io.Copy(out, in) // short copies are fine: torn file
-		in.Close()
-		out.Close()
+		for _, e := range entries {
+			name := e.Name()
+			isManifest := name == "CURRENT" || strings.HasPrefix(name, "MANIFEST-")
+			if isManifest != manifests {
+				continue
+			}
+			in, err := os.Open(filepath.Join(src, name))
+			if err != nil {
+				continue // deleted mid-copy: like a crash after the unlink
+			}
+			out, err := os.Create(filepath.Join(dst, name))
+			if err != nil {
+				in.Close()
+				return err
+			}
+			_, _ = io.Copy(out, in) // short copies are fine: torn file
+			in.Close()
+			out.Close()
+		}
+		return nil
 	}
-	return nil
+	if err := pass(true); err != nil {
+		return err
+	}
+	return pass(false)
 }

@@ -40,8 +40,11 @@ type DB struct {
 	// sched routes compaction merges between the device channel pool and
 	// the CPU lane (package dispatch); immutable after Open.
 	sched *dispatch.Scheduler
-	// wg joins the flush worker and every compaction worker; Close waits
-	// on it after the workers observe the closed flag.
+	// poolSize is the number of shared flush/compaction pool workers
+	// (DispatchConfig.Workers); immutable after Open.
+	poolSize int
+	// wg joins every shared pool worker; Close waits on it after the
+	// workers observe the closed flag.
 	wg sync.WaitGroup
 	// evMu serializes event delivery to the listener. Lock order is
 	// strictly evMu -> mu (flushEvents); it is never acquired with mu held.
@@ -76,6 +79,9 @@ type DB struct {
 	// compaction so the obsolete-file sweep does not reap them before
 	// their version edit lands.
 	pendingOutputs map[uint64]bool
+	// holdDeletions suspends the obsolete-file sweep entirely while an
+	// external backup copies the directory (DisableFileDeletions).
+	holdDeletions int
 	// pendingEvents are delivery closures queued under mu, drained by
 	// flushEvents outside it (see events.go).
 	pendingEvents []func(obs.EventListener)
@@ -137,10 +143,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	bc := cache.New(opts.BlockCacheBytes)
 	reg := obs.NewRegistry()
+	dcfg := opts.dispatchConfig()
 	sched, err := dispatch.New(dispatch.Config{
-		Devices:  opts.deviceExecutors(),
-		Injector: opts.FaultInjector,
-		Tuning:   opts.Dispatch,
+		Devices:  dcfg.Devices,
+		Injector: dcfg.FaultInjector,
+		Tuning:   dcfg.Tuning,
 	})
 	if err != nil {
 		_ = vs.Close()
@@ -156,6 +163,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		reg:            reg,
 		met:            newDBMetrics(reg),
 		sched:          sched,
+		poolSize:       dcfg.Workers,
 		snapshots:      make(map[uint64]int),
 		seq:            vs.LastSeq(),
 		memSeed:        opts.SkiplistSeed,
@@ -194,11 +202,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.mu.Unlock()
 	db.flushEvents() // recovery flush + obsolete-file events
 
-	db.wg.Add(1)
-	go db.flushWorker()
-	for i := 0; i < opts.CompactionWorkers; i++ {
+	for i := 0; i < db.poolSize; i++ {
 		db.wg.Add(1)
-		go db.compactWorker()
+		go db.poolWorker()
 	}
 	return db, nil
 }

@@ -324,3 +324,203 @@ func TestDispatchOptionValidation(t *testing.T) {
 		t.Errorf("valid dispatch options rejected: %v", err)
 	}
 }
+
+// TestDispatchConfigValidation covers the consolidated DispatchConfig:
+// its own rejection paths plus the deprecated-alias contradictions.
+func TestDispatchConfigValidation(t *testing.T) {
+	devs := newDeviceChannels(t, 1)
+	inj := dispatch.NewProbInjector(1, 0.5)
+	bad := []Options{
+		{DispatchConfig: DispatchConfig{Workers: -1}},
+		{DispatchConfig: DispatchConfig{Devices: []compaction.Executor{nil}}},
+		{DispatchConfig: DispatchConfig{FaultInjector: inj}}, // no devices to fault
+		{DispatchConfig: DispatchConfig{Tuning: dispatch.Tuning{QueueDepth: -1}}},
+		// Setting a deprecated alias alongside its DispatchConfig field
+		// is a contradiction, not a merge.
+		{DispatchConfig: DispatchConfig{Devices: devs}, DeviceExecutors: devs},
+		{DispatchConfig: DispatchConfig{Devices: devs}, Executor: devs[0]},
+		{DispatchConfig: DispatchConfig{Workers: 2}, CompactionWorkers: 1},
+		{DispatchConfig: DispatchConfig{Devices: devs, FaultInjector: inj}, FaultInjector: inj},
+		{DispatchConfig: DispatchConfig{Tuning: dispatch.Tuning{QueueDepth: 4}},
+			Dispatch: dispatch.Tuning{QueueDepth: 2}},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	ok := Options{DispatchConfig: DispatchConfig{
+		Devices:       devs,
+		Workers:       3,
+		FaultInjector: dispatch.NewProbInjector(1, 0.1),
+		Tuning:        dispatch.Tuning{QueueDepth: 4},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid DispatchConfig rejected: %v", err)
+	}
+}
+
+// TestLegacyWorkerAliasMapping proves CompactionWorkers=N maps onto a
+// shared pool of N+1 workers (the flush goroutine it used to imply).
+func TestLegacyWorkerAliasMapping(t *testing.T) {
+	if got := (Options{CompactionWorkers: 2}).dispatchConfig().Workers; got != 3 {
+		t.Fatalf("CompactionWorkers=2 -> pool of %d, want 3", got)
+	}
+	if got := (Options{}).dispatchConfig().Workers; got != 2 {
+		t.Fatalf("default pool = %d, want 2", got)
+	}
+	if got := (Options{DispatchConfig: DispatchConfig{Workers: 5}}).dispatchConfig().Workers; got != 5 {
+		t.Fatalf("DispatchConfig.Workers=5 -> pool of %d, want 5", got)
+	}
+}
+
+// priorityListener records the priority tag of every non-trivial
+// compaction event.
+type priorityListener struct {
+	obs.NoopListener
+
+	mu     sync.Mutex
+	begins map[uint64]obs.Priority // job id -> begin priority
+	l0     int
+	deep   int
+	bad    []string
+}
+
+func (p *priorityListener) CompactionBegin(e obs.CompactionBeginEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.begins == nil {
+		p.begins = make(map[uint64]obs.Priority)
+	}
+	p.begins[e.JobID] = e.Priority
+	want := obs.PriorityDeep
+	if e.Level == 0 {
+		want = obs.PriorityL0
+	}
+	if e.Priority != want {
+		p.bad = append(p.bad, fmt.Sprintf("job %d: level %d tagged %q", e.JobID, e.Level, e.Priority))
+	}
+}
+
+func (p *priorityListener) CompactionEnd(e obs.CompactionEndEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if begin, ok := p.begins[e.JobID]; ok && e.Priority != begin {
+		p.bad = append(p.bad, fmt.Sprintf("job %d: begin %q != end %q", e.JobID, begin, e.Priority))
+	}
+	if e.Priority == obs.PriorityL0 {
+		p.l0++
+	} else {
+		p.deep++
+	}
+}
+
+// TestCompactionPriorityEvents drives the shared pool until both L0 and
+// deep compactions have run, then checks every event carries the lane
+// priority derived from its source level.
+func TestCompactionPriorityEvents(t *testing.T) {
+	pl := &priorityListener{}
+	opts := Options{
+		MemTableBytes:      16 << 10,
+		BaseLevelBytes:     32 << 10,
+		MaxOutputFileBytes: 16 << 10,
+		BlockCacheBytes:    1 << 20,
+		DispatchConfig: DispatchConfig{
+			Devices: newDeviceChannels(t, 1),
+			Workers: 3,
+		},
+		EventListener: pl,
+	}
+	db := openTest(t, opts)
+
+	rng := rand.New(rand.NewSource(7))
+	val := make([]byte, 512)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		pl.mu.Lock()
+		done := pl.l0 > 0 && pl.deep > 0
+		pl.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw both priorities: l0=%d deep=%d", pl.l0, pl.deep)
+		}
+		for i := 0; i < 200; i++ {
+			rng.Read(val)
+			k := []byte(fmt.Sprintf("key%07d", rng.Intn(1<<16)))
+			if err := db.Put(k, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if len(pl.bad) > 0 {
+		t.Fatalf("mis-tagged compaction events: %v", pl.bad)
+	}
+}
+
+// TestArenaFallbackIntegrity opens the store with deliberately tiny
+// per-channel staging arenas: most merges exceed the arena input budget
+// and must route to the CPU lane, and no data may be lost on the way.
+func TestArenaFallbackIntegrity(t *testing.T) {
+	cfg := core.MultiInputConfig()
+	cfg.StagingBytes = 8 << 10 // ~4KiB data region; typical merges exceed it
+	exec, err := core.NewExecutor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		MemTableBytes:      16 << 10,
+		BaseLevelBytes:     32 << 10,
+		MaxOutputFileBytes: 16 << 10,
+		BlockCacheBytes:    1 << 20,
+		DispatchConfig: DispatchConfig{
+			Devices: []compaction.Executor{exec},
+			Workers: 2,
+		},
+	}
+	db := openTest(t, opts)
+
+	rng := rand.New(rand.NewSource(11))
+	model := map[string]string{}
+	deadline := time.Now().Add(60 * time.Second)
+	for db.DispatchStats().FallbackArena == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tiny arena never forced a fallback: dispatch = %+v", db.DispatchStats())
+		}
+		for i := 0; i < 300; i++ {
+			k := []byte(fmt.Sprintf("key%05d", rng.Intn(2000)))
+			v := make([]byte, 64+rng.Intn(192))
+			rng.Read(v)
+			if err := db.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[string(k)] = string(v)
+		}
+	}
+	if err := db.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range model {
+		got, err := db.Get([]byte(k))
+		if err != nil {
+			t.Fatalf("Get(%s) = %v after arena fallbacks", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("Get(%s) returned wrong value", k)
+		}
+	}
+	ds := db.DispatchStats()
+	if ds.FallbackArena == 0 {
+		t.Fatalf("dispatch = %+v, want arena fallbacks", ds)
+	}
+	if m := db.Metrics(); m.Gauges["dispatch_fallback_arena"] == 0 {
+		t.Fatalf("dispatch_fallback_arena gauge = 0, want > 0")
+	}
+	t.Logf("dispatch = %+v", ds)
+}

@@ -16,6 +16,51 @@ import (
 	"fcae/internal/sstable"
 )
 
+// DispatchConfig groups everything that feeds the offload scheduler and
+// its shared worker pool: the device channels, the pool size, fault
+// injection and the scheduler tuning. It replaces the four scattered
+// Options fields (DeviceExecutors, CompactionWorkers, FaultInjector,
+// Dispatch), which remain as deprecated aliases for one release.
+type DispatchConfig struct {
+	// Devices are the scheduler's device channels, one executor instance
+	// per simulated compaction unit (instances must not be shared between
+	// channels). Empty means every merge runs on the CPU lane.
+	Devices []compaction.Executor
+	// Workers sizes the shared background worker pool that drains both
+	// flushes and compactions (flush claims the highest priority;
+	// with more than one worker, one slot is always kept free for a
+	// flush). Default 2 — one flush-capable worker plus one compactor,
+	// the same parallelism as the old dedicated flush goroutine + one
+	// compaction worker.
+	Workers int
+	// FaultInjector, when non-nil, injects device faults into every
+	// device-channel attempt (see package dispatch). Requires at least
+	// one device channel.
+	FaultInjector dispatch.FaultInjector
+	// Tuning bounds the scheduler's queueing, priority-aging, retry and
+	// budget policy; the zero value selects the dispatch defaults.
+	Tuning dispatch.Tuning
+}
+
+// Validate rejects contradictory or nonsensical dispatch settings.
+func (c DispatchConfig) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("lsm: invalid DispatchConfig: Workers is negative (%d)", c.Workers)
+	}
+	for i, d := range c.Devices {
+		if d == nil {
+			return fmt.Errorf("lsm: invalid DispatchConfig: device channel %d is nil", i)
+		}
+	}
+	if c.FaultInjector != nil && len(c.Devices) == 0 {
+		return fmt.Errorf("lsm: invalid DispatchConfig: FaultInjector set but no device executors are configured; there is no device to fault")
+	}
+	if err := c.Tuning.Validate(); err != nil {
+		return fmt.Errorf("lsm: invalid DispatchConfig: %w", err)
+	}
+	return nil
+}
+
 // Options configure a DB. The zero value plus a directory is usable; the
 // defaults mirror the paper's LevelDB settings (Table IV).
 type Options struct {
@@ -67,19 +112,36 @@ type Options struct {
 	// pool, one executor instance per simulated compaction unit (instances
 	// must not be shared between channels). Mutually exclusive with
 	// Executor.
+	//
+	// Deprecated: set DispatchConfig.Devices instead. Kept working as an
+	// alias for one release; setting both is a validation error.
 	DeviceExecutors []compaction.Executor
-	// CompactionWorkers is the number of concurrent compaction worker
-	// goroutines feeding the scheduler (default 1). Workers pick
-	// non-overlapping level ranges under the store mutex, so N workers can
-	// keep N device channels busy.
+	// CompactionWorkers is the number of concurrent compaction workers
+	// feeding the scheduler (default 1). The flush worker is separate, so
+	// a legacy value of N resolves to a shared pool of N+1 workers.
+	//
+	// Deprecated: set DispatchConfig.Workers instead (note the +1: it
+	// counts the whole pool, flushes included). Kept working as an alias
+	// for one release; setting both is a validation error.
 	CompactionWorkers int
 	// FaultInjector, when non-nil, injects device faults into every
 	// device-channel attempt (see package dispatch). Requires at least one
 	// device channel.
+	//
+	// Deprecated: set DispatchConfig.FaultInjector instead. Kept working
+	// as an alias for one release; setting both is a validation error.
 	FaultInjector dispatch.FaultInjector
 	// Dispatch tunes the offload scheduler's queue depth, deadline, retry
 	// and budget policy; the zero value selects the dispatch defaults.
+	//
+	// Deprecated: set DispatchConfig.Tuning instead. Kept working as an
+	// alias for one release; setting both is a validation error.
 	Dispatch dispatch.Tuning
+	// DispatchConfig groups the offload scheduler's configuration: device
+	// channels, the shared flush/compaction worker pool size, fault
+	// injection and scheduler tuning. Zero-value fields fall back to the
+	// deprecated aliases above, then to defaults.
+	DispatchConfig DispatchConfig
 	// SyncWrites fsyncs the WAL on every commit.
 	SyncWrites bool
 	// SkiplistSeed fixes memtable randomness for reproducible tests.
@@ -124,11 +186,8 @@ func (o Options) Validate() error {
 	if o.Executor != nil && len(o.DeviceExecutors) > 0 {
 		return fmt.Errorf("lsm: invalid Options: Executor and DeviceExecutors are mutually exclusive; put every channel in DeviceExecutors")
 	}
-	if o.FaultInjector != nil && len(o.deviceExecutors()) == 0 {
-		return fmt.Errorf("lsm: invalid Options: FaultInjector set but no device executors are configured; there is no device to fault")
-	}
-	if err := o.Dispatch.Validate(); err != nil {
-		return fmt.Errorf("lsm: invalid Options: %w", err)
+	if err := o.validateDispatch(); err != nil {
+		return err
 	}
 	if o.DisableCompression && o.Compression == sstable.SnappyCompression {
 		return fmt.Errorf("lsm: invalid Options: DisableCompression set but Compression requests snappy")
@@ -206,11 +265,68 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// deviceExecutors resolves the scheduler's device channel pool: an
-// explicit DeviceExecutors list wins; otherwise a non-CPU Executor becomes
-// a single channel; a CPU (or nil) Executor means no devices at all, so
-// every merge runs on the scheduler's CPU lane.
+// validateDispatch checks the DispatchConfig group: the group's own
+// Validate on the resolved configuration, plus new-vs-deprecated-alias
+// contradictions (a field set both ways is a config bug, not a merge).
+func (o Options) validateDispatch() error {
+	c := o.DispatchConfig
+	if len(c.Devices) > 0 && (o.Executor != nil || len(o.DeviceExecutors) > 0) {
+		return fmt.Errorf("lsm: invalid Options: DispatchConfig.Devices and the deprecated Executor/DeviceExecutors are both set; use DispatchConfig.Devices alone")
+	}
+	if c.Workers > 0 && o.CompactionWorkers > 0 {
+		return fmt.Errorf("lsm: invalid Options: DispatchConfig.Workers (%d) and the deprecated CompactionWorkers (%d) are both set; use DispatchConfig.Workers alone",
+			c.Workers, o.CompactionWorkers)
+	}
+	if c.FaultInjector != nil && o.FaultInjector != nil {
+		return fmt.Errorf("lsm: invalid Options: DispatchConfig.FaultInjector and the deprecated FaultInjector are both set; use DispatchConfig.FaultInjector alone")
+	}
+	if c.Tuning != (dispatch.Tuning{}) && o.Dispatch != (dispatch.Tuning{}) {
+		return fmt.Errorf("lsm: invalid Options: DispatchConfig.Tuning and the deprecated Dispatch tuning are both set; use DispatchConfig.Tuning alone")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("lsm: invalid Options: DispatchConfig.Workers is negative (%d)", c.Workers)
+	}
+	if err := o.dispatchConfig().Validate(); err != nil {
+		return fmt.Errorf("lsm: invalid Options: %w", err)
+	}
+	return nil
+}
+
+// dispatchConfig resolves the effective dispatch configuration: explicit
+// DispatchConfig fields win, zero fields fall back to the deprecated
+// aliases, and a legacy CompactionWorkers count of N becomes a pool of
+// N+1 (the old layout was N compaction workers plus a dedicated flush
+// goroutine). The final default is a pool of 2.
+func (o Options) dispatchConfig() DispatchConfig {
+	c := o.DispatchConfig
+	if len(c.Devices) == 0 {
+		c.Devices = o.deviceExecutors()
+	}
+	if c.FaultInjector == nil {
+		c.FaultInjector = o.FaultInjector
+	}
+	if c.Tuning == (dispatch.Tuning{}) {
+		c.Tuning = o.Dispatch
+	}
+	if c.Workers <= 0 {
+		if o.CompactionWorkers > 0 {
+			c.Workers = o.CompactionWorkers + 1
+		} else {
+			c.Workers = 2
+		}
+	}
+	return c
+}
+
+// deviceExecutors resolves the scheduler's device channel pool: the
+// DispatchConfig.Devices list wins, then the deprecated DeviceExecutors;
+// otherwise a non-CPU Executor becomes a single channel; a CPU (or nil)
+// Executor means no devices at all, so every merge runs on the
+// scheduler's CPU lane.
 func (o Options) deviceExecutors() []compaction.Executor {
+	if len(o.DispatchConfig.Devices) > 0 {
+		return o.DispatchConfig.Devices
+	}
 	if len(o.DeviceExecutors) > 0 {
 		return o.DeviceExecutors
 	}

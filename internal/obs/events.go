@@ -84,6 +84,9 @@ type CompactionBeginEvent struct {
 	OutputLevel int
 	// TrivialMove marks a pure file move (no merge executes).
 	TrivialMove bool
+	// Priority is the dispatch priority the job was enqueued with
+	// (PriorityL0 for L0-source jobs, PriorityDeep otherwise).
+	Priority Priority
 	// Inputs are the tables consumed, across both levels.
 	Inputs []TableInfo
 }
@@ -103,13 +106,16 @@ type CompactionEndEvent struct {
 	// device channels being configured (paper §VI-A fan-in overflow, queue
 	// backpressure, image budget, or device fault).
 	Fallback bool
-	// Lane names the dispatch lane that completed the merge ("device-<i>"
-	// or "cpu"); empty for trivial moves and pre-dispatch configurations.
-	Lane string
-	// RouteReason explains a CPU routing ("fanin", "image-budget",
-	// "saturated", "device-fault", "no-device"); empty when the job ran on
-	// a device.
-	RouteReason string
+	// Lane is the dispatch lane that completed the merge (a device
+	// channel or LaneCPU); LaneNone for trivial moves and pre-dispatch
+	// configurations.
+	Lane Lane
+	// RouteReason explains a CPU routing (RouteFanIn, RouteImageBudget,
+	// RouteArena, RouteSaturated, RouteDeviceFault, RouteNoDevice);
+	// RouteNone when the job ran on a device.
+	RouteReason RouteReason
+	// Priority is the dispatch priority the job was enqueued with.
+	Priority Priority
 	// DeviceAttempts counts device-lane attempts, including faulted ones.
 	DeviceAttempts int
 	Inputs         []TableInfo

@@ -59,14 +59,17 @@ func (t *Trace) Spans() []Span {
 // TraceRecord is the JSONL form of one finished compaction, written by
 // TraceWriter: one line per job, durations in nanoseconds.
 type TraceRecord struct {
-	Job           uint64   `json:"job"`
-	Level         int      `json:"level"`
-	OutputLevel   int      `json:"output_level"`
-	Executor      string   `json:"executor,omitempty"`
-	TrivialMove   bool     `json:"trivial_move,omitempty"`
-	Fallback      bool     `json:"sw_fallback,omitempty"`
-	Lane          string   `json:"lane,omitempty"`
-	RouteReason   string   `json:"route_reason,omitempty"`
+	Job         uint64      `json:"job"`
+	Level       int         `json:"level"`
+	OutputLevel int         `json:"output_level"`
+	Executor    string      `json:"executor,omitempty"`
+	TrivialMove bool        `json:"trivial_move,omitempty"`
+	Fallback    bool        `json:"sw_fallback,omitempty"`
+	Lane        Lane        `json:"lane,omitempty"`
+	RouteReason RouteReason `json:"route_reason,omitempty"`
+	// Priority is omitted for PriorityDeep (the zero value): an absent
+	// field decodes as a deep-level job.
+	Priority      Priority `json:"priority,omitempty"`
 	DeviceTries   int      `json:"device_attempts,omitempty"`
 	Inputs        []uint64 `json:"inputs,omitempty"`
 	Outputs       []uint64 `json:"outputs,omitempty"`
@@ -93,6 +96,7 @@ func NewTraceRecord(e CompactionEndEvent) TraceRecord {
 		Fallback:      e.Fallback,
 		Lane:          e.Lane,
 		RouteReason:   e.RouteReason,
+		Priority:      e.Priority,
 		DeviceTries:   e.DeviceAttempts,
 		PairsIn:       e.PairsIn,
 		PairsOut:      e.PairsOut,

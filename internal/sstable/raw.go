@@ -142,6 +142,15 @@ func (w *BlockWriter) Finish() []byte {
 	return out
 }
 
+// FinishInto appends the completed block contents to dst and resets the
+// builder. Unlike Finish it makes no fresh copy: callers own dst (usually
+// reused scratch) and must copy before the next block if they retain it.
+func (w *BlockWriter) FinishInto(dst []byte) []byte {
+	out := append(dst, w.b.finish()...)
+	w.b.reset()
+	return out
+}
+
 // Assembler writes a standard table file from pre-encoded raw data blocks,
 // the host-side combiner for engine output. Block last-keys double as
 // index keys (they satisfy the separator contract exactly).
