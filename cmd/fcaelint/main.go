@@ -4,14 +4,26 @@
 // on bad usage), so the verify line can gate on it:
 //
 //	go run ./cmd/fcaelint ./...
+//	go run ./cmd/fcaelint ./internal/lint
 //
-// The only accepted package pattern is ./... (or none, which means the
-// same): the suite always loads and cross-checks the whole module.
+// Package arguments are ./... (or none — the whole module) or
+// module-relative package directories, with an optional /... suffix
+// (./internal/lint, internal/lsm/...). The suite ALWAYS loads and
+// cross-checks the whole module — interface resolution and lock-order
+// graphs need every package — directory arguments only narrow which
+// findings are reported, so a subtree run stays as precise as a full
+// one. A directory that does not exist under the module root exits 2.
 //
 // Flags:
 //
-//	-json               emit findings as a JSON array of
-//	                    {file, line, col, analyzer, message} objects
+//	-json               emit a report object: {"resolver": {mode,
+//	                    static_edges, dynamic_edges}, "findings": [...]}
+//	                    where each finding is {file, line, col, analyzer,
+//	                    message}. The resolver header records how many
+//	                    call-graph edges came from direct (static)
+//	                    resolution vs interface/func-value (dynamic)
+//	                    resolution, so consumers can tell whether a clean
+//	                    run actually had dynamic dispatch coverage.
 //	-baseline FILE      suppress findings listed in FILE (see below)
 //	-write-baseline FILE  write the current findings to FILE and exit 0
 //	-C DIR              analyze the module containing DIR instead of cwd
@@ -39,6 +51,26 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonReport is the -json wire schema: a resolver header describing how
+// the call graph was built, then the findings.
+type jsonReport struct {
+	Resolver jsonResolver `json:"resolver"`
+	Findings []jsonDiag   `json:"findings"`
+}
+
+// jsonResolver records the call-graph resolution mode and edge counts of
+// the run. Mode is "dynamic": the suite resolves interface method calls
+// through instantiated-type sets and func-value calls through
+// assignment flow, in addition to direct static calls. StaticEdges and
+// DynamicEdges count call sites resolved each way — a clean run with
+// zero dynamic edges means no interface seams were exercised, not that
+// they were checked.
+type jsonResolver struct {
+	Mode         string `json:"mode"`
+	StaticEdges  int64  `json:"static_edges"`
+	DynamicEdges int64  `json:"dynamic_edges"`
+}
+
 // jsonDiag is the -json wire schema, one object per finding.
 type jsonDiag struct {
 	File     string `json:"file"`
@@ -60,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeBaseline := fs.String("write-baseline", "", "write current findings to this file and exit 0")
 	dir := fs.String("C", "", "analyze the module containing this directory (default: cwd)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: fcaelint [-list] [-json] [-baseline file] [-write-baseline file] [-C dir] [./...]\n\nAnalyzers:\n")
+		fmt.Fprintf(stderr, "usage: fcaelint [-list] [-json] [-baseline file] [-write-baseline file] [-C dir] [./... | pkg-dir ...]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stderr, "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -75,11 +107,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	// Non-./... arguments are module-relative package directories that
+	// narrow the *reported* findings; the whole module is still loaded
+	// and analyzed so cross-package facts stay complete.
+	var filters []string
 	for _, arg := range fs.Args() {
-		if arg != "./..." && arg != "..." {
-			fmt.Fprintf(stderr, "fcaelint: unsupported pattern %q (the suite always checks the whole module)\n", arg)
-			return 2
+		if arg == "./..." || arg == "..." {
+			continue
 		}
+		f := filepath.ToSlash(filepath.Clean(strings.TrimSuffix(arg, "/...")))
+		filters = append(filters, strings.TrimPrefix(f, "./"))
 	}
 
 	start := *dir
@@ -96,18 +133,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fcaelint:", err)
 		return 2
 	}
+	for _, f := range filters {
+		st, err := os.Stat(filepath.Join(root, filepath.FromSlash(f)))
+		if err != nil || !st.IsDir() {
+			fmt.Fprintf(stderr, "fcaelint: package path %q is not a directory under module root %s\n", f, root)
+			return 2
+		}
+	}
 	pkgs, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "fcaelint:", err)
 		return 2
 	}
-	diags := lint.Check(pkgs, lint.Analyzers())
+	diags, stats := lint.CheckStats(pkgs, lint.Analyzers())
 
 	rel := func(filename string) string {
 		if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
 			return filepath.ToSlash(r)
 		}
 		return filename
+	}
+
+	if len(filters) > 0 {
+		kept := diags[:0]
+		for _, d := range diags {
+			if underAnyFilter(rel(d.Pos.Filename), filters) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
 
 	if *writeBaseline != "" {
@@ -146,9 +200,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		out := make([]jsonDiag, 0, len(diags))
+		report := jsonReport{
+			Resolver: jsonResolver{
+				Mode:         "dynamic",
+				StaticEdges:  stats.StaticEdges,
+				DynamicEdges: stats.DynamicEdges,
+			},
+			Findings: make([]jsonDiag, 0, len(diags)),
+		}
 		for _, d := range diags {
-			out = append(out, jsonDiag{
+			report.Findings = append(report.Findings, jsonDiag{
 				File:     rel(d.Pos.Filename),
 				Line:     d.Pos.Line,
 				Col:      d.Pos.Column,
@@ -159,7 +220,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(stderr, "fcaelint:", err)
 			return 2
 		}
@@ -173,6 +234,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// underAnyFilter reports whether a module-relative file path falls under
+// one of the requested package directories.
+func underAnyFilter(relFile string, filters []string) bool {
+	for _, f := range filters {
+		if f == "." || strings.HasPrefix(relFile, f+"/") {
+			return true
+		}
+	}
+	return false
 }
 
 // baselineKey is the line-number-free identity of a finding.

@@ -26,11 +26,41 @@ func open(path string) error {
 	return nil
 }
 `,
+	"sub/sub.go": "package sub\n\n// Ok is clean.\nfunc Ok() int { return 1 }\n",
 }
 
 var cleanModule = map[string]string{
 	"go.mod": "module fixture\n\ngo 1.22\n",
 	"a.go":   "package a\n\nfunc ok() int { return 1 }\n",
+}
+
+// seamedModule is clean but exercises both resolution modes: Run makes a
+// direct call to helper (a static edge) and an interface call through
+// Doer (a dynamic edge to Impl.Do).
+var seamedModule = map[string]string{
+	"go.mod": "module fixture\n\ngo 1.22\n",
+	"a.go": `package a
+
+// Doer is a seam.
+type Doer interface{ Do() }
+
+// Impl implements Doer.
+type Impl struct{ n int }
+
+// Do counts.
+func (i *Impl) Do() { i.n++ }
+
+func helper() {}
+
+// Run drives the seam.
+func Run(d Doer) {
+	helper()
+	d.Do()
+}
+
+// Live keeps Impl in the instantiated set.
+var Live = &Impl{}
+`,
 }
 
 var brokenModule = map[string]string{
@@ -58,6 +88,7 @@ func TestRunExitCodesAndOutput(t *testing.T) {
 	dirty := writeModule(t, dirtyModule)
 	clean := writeModule(t, cleanModule)
 	broken := writeModule(t, brokenModule)
+	seamed := writeModule(t, seamedModule)
 
 	baseline := filepath.Join(t.TempDir(), "baseline.txt")
 	{
@@ -98,16 +129,39 @@ func TestRunExitCodesAndOutput(t *testing.T) {
 			args:     []string{"-C", dirty, "-json"},
 			wantCode: 1,
 			check: func(t *testing.T, stdout, stderr string) {
-				var diags []jsonDiag
-				if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
-					t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout)
+				var report jsonReport
+				if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+					t.Fatalf("stdout is not a JSON report object: %v\n%s", err, stdout)
 				}
-				if len(diags) != 1 {
-					t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+				if report.Resolver.Mode != "dynamic" {
+					t.Errorf("resolver mode = %q, want dynamic", report.Resolver.Mode)
 				}
-				d := diags[0]
+				if report.Resolver.StaticEdges < 0 || report.Resolver.DynamicEdges < 0 {
+					t.Errorf("resolver edge counts must be non-negative: %+v", report.Resolver)
+				}
+				if len(report.Findings) != 1 {
+					t.Fatalf("got %d findings, want 1: %+v", len(report.Findings), report.Findings)
+				}
+				d := report.Findings[0]
 				if d.File != "a.go" || d.Line != 10 || d.Col == 0 || d.Analyzer != "uncheckedclose" || d.Message == "" {
 					t.Errorf("diag = %+v, want file a.go line 10 with analyzer and message", d)
+				}
+			},
+		},
+		{
+			name:     "json resolver counts dynamic edges",
+			args:     []string{"-C", seamed, "-json"},
+			wantCode: 0,
+			check: func(t *testing.T, stdout, stderr string) {
+				var report jsonReport
+				if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+					t.Fatalf("stdout is not a JSON report object: %v\n%s", err, stdout)
+				}
+				if report.Resolver.DynamicEdges == 0 {
+					t.Errorf("module with an interface seam should report dynamic edges: %+v", report.Resolver)
+				}
+				if report.Resolver.StaticEdges == 0 {
+					t.Errorf("module with a direct call should report static edges: %+v", report.Resolver)
 				}
 			},
 		},
@@ -140,9 +194,34 @@ func TestRunExitCodesAndOutput(t *testing.T) {
 			},
 		},
 		{
-			name:     "bad pattern exits 2",
-			args:     []string{"-C", clean, "./internal/..."},
+			name:     "path filter narrows findings to the subtree",
+			args:     []string{"-C", dirty, "./sub"},
+			wantCode: 0,
+			check: func(t *testing.T, stdout, stderr string) {
+				if strings.Contains(stdout, "uncheckedclose") {
+					t.Errorf("stdout = %q, want root finding filtered out by ./sub", stdout)
+				}
+			},
+		},
+		{
+			name:     "path filter keeps matching findings",
+			args:     []string{"-C", dirty, ".", "./sub/..."},
+			wantCode: 1,
+			check: func(t *testing.T, stdout, stderr string) {
+				if !strings.Contains(stdout, "uncheckedclose") {
+					t.Errorf("stdout = %q, want the root finding kept by the . filter", stdout)
+				}
+			},
+		},
+		{
+			name:     "nonexistent package dir exits 2",
+			args:     []string{"-C", clean, "./no/such/dir"},
 			wantCode: 2,
+			check: func(t *testing.T, stdout, stderr string) {
+				if !strings.Contains(stderr, "not a directory") {
+					t.Errorf("stderr = %q, want a not-a-directory error", stderr)
+				}
+			},
 		},
 		{
 			name:     "missing baseline file exits 2",

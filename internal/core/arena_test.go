@@ -32,12 +32,47 @@ func TestArenaSizing(t *testing.T) {
 func TestNilArenaSafe(t *testing.T) {
 	var a *Arena
 	a.Reset() // must not panic
-	if a.Cap() != 0 || a.InUse() != 0 || a.InputBudget() != 0 {
-		t.Fatalf("nil arena reported non-zero sizes: cap=%d use=%d budget=%d",
-			a.Cap(), a.InUse(), a.InputBudget())
+	if a.Cap() != 0 || a.InUse() != 0 || a.InputBudget() != 0 || a.HighWater() != 0 {
+		t.Fatalf("nil arena reported non-zero sizes: cap=%d use=%d budget=%d hw=%d",
+			a.Cap(), a.InUse(), a.InputBudget(), a.HighWater())
 	}
 	if _, ok := a.takeOut(1); ok {
 		t.Fatal("nil arena handed out memory")
+	}
+}
+
+// TestArenaHighWater proves the high-water mark tracks peak occupancy and
+// survives Reset: it is the lifetime provisioning figure, not a per-job one.
+func TestArenaHighWater(t *testing.T) {
+	a := NewArena(8192)
+	if got := a.HighWater(); got != 0 {
+		t.Fatalf("fresh arena HighWater = %d, want 0", got)
+	}
+	a.commitStaging(100, 200)
+	if got := a.HighWater(); got != 300 {
+		t.Fatalf("after commitStaging(100,200): HighWater = %d, want 300", got)
+	}
+	if _, ok := a.takeOut(50); !ok {
+		t.Fatal("takeOut(50) failed on a fresh region")
+	}
+	if got := a.HighWater(); got != 350 {
+		t.Fatalf("after takeOut(50): HighWater = %d, want 350", got)
+	}
+	a.Reset()
+	if got := a.InUse(); got != 0 {
+		t.Fatalf("after Reset: InUse = %d, want 0", got)
+	}
+	if got := a.HighWater(); got != 350 {
+		t.Fatalf("Reset must not rewind HighWater: got %d, want 350", got)
+	}
+	// A smaller next job must not lower the mark; a larger one raises it.
+	a.commitStaging(10, 20)
+	if got := a.HighWater(); got != 350 {
+		t.Fatalf("smaller job lowered HighWater to %d, want 350", got)
+	}
+	a.commitStaging(400, 500)
+	if got := a.HighWater(); got != 930 {
+		t.Fatalf("larger job: HighWater = %d, want 930", got)
 	}
 }
 
@@ -181,6 +216,12 @@ func TestExecutorArenaEquivalence(t *testing.T) {
 				t.Fatalf("round %d entry %d differs: arena=%+v heap=%+v", round, i, a[i], b[i])
 			}
 		}
+	}
+	if hw, cap := withArena.ArenaHighWater(), withArena.ArenaBytes(); hw <= 0 || hw > cap {
+		t.Fatalf("ArenaHighWater = %d after arena-backed jobs, want in (0, %d]", hw, cap)
+	}
+	if got := without.ArenaHighWater(); got != 0 {
+		t.Fatalf("disabled arena ArenaHighWater = %d, want 0", got)
 	}
 }
 

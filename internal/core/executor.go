@@ -57,6 +57,16 @@ func (x *Executor) ArenaInputBudget() int64 {
 	return x.arena.InputBudget()
 }
 
+// ArenaHighWater reports the peak staging-arena occupancy over the
+// channel's lifetime (0 when disabled), implementing the dispatcher's
+// ArenaSizer. Near-capacity values mean jobs are about to spill to heap
+// fallback; far-below-capacity values mean the carve is oversized.
+func (x *Executor) ArenaHighWater() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.arena.HighWater()
+}
+
 // Name implements compaction.Executor.
 func (x *Executor) Name() string { return "fcae" }
 

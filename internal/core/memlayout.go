@@ -93,6 +93,11 @@ type Arena struct {
 	indexOff int
 	dataOff  int
 	outOff   int
+
+	// highWater is the peak InUse ever observed, surviving Reset: the
+	// figure that says how close steady-state jobs come to the carve
+	// sizes, and therefore whether the arena is over- or under-provisioned.
+	highWater int64
 }
 
 // NewArena carves a staging arena from total bytes: 1/8 index region,
@@ -137,6 +142,24 @@ func (a *Arena) InUse() int64 {
 	return int64(a.indexOff + a.dataOff + a.outOff)
 }
 
+// HighWater returns the peak InUse the arena has ever reached. Unlike
+// InUse it is not rewound by Reset, so it reports lifetime pressure:
+// HighWater near Cap means jobs are close to spilling to heap fallback.
+// 0 for nil.
+func (a *Arena) HighWater() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.highWater
+}
+
+// noteHighWater records the current InUse if it is a new peak.
+func (a *Arena) noteHighWater() {
+	if u := a.InUse(); u > a.highWater {
+		a.highWater = u
+	}
+}
+
 // InputBudget returns a conservative bound on a job's total input bytes
 // such that image staging fits the data region: the region size less a
 // 1/8 margin for per-block compression-type bytes and alignment padding.
@@ -167,6 +190,7 @@ func (a *Arena) commitStaging(indexLen, dataLen int) {
 	}
 	a.indexOff += indexLen
 	a.dataOff += dataLen
+	a.noteHighWater()
 }
 
 // takeOut reserves n bytes of the retained-output region, returning an
@@ -178,6 +202,7 @@ func (a *Arena) takeOut(n int) (dst []byte, ok bool) {
 	}
 	dst = a.out[a.outOff : a.outOff : a.outOff+n]
 	a.outOff += n
+	a.noteHighWater()
 	return dst, true
 }
 

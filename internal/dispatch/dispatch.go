@@ -85,6 +85,10 @@ type ArenaSizer interface {
 	// ArenaInputBudget is the largest job input size the arena can
 	// stage (0 = no arena, unlimited admission).
 	ArenaInputBudget() int64
+	// ArenaHighWater is the peak arena occupancy over the channel's
+	// lifetime (0 = no arena). Unlike the two sizing bounds it moves
+	// while the scheduler runs, so Stats reads it per snapshot.
+	ArenaHighWater() int64
 }
 
 // Tuning bounds the scheduler's queueing and retry behavior. The zero
@@ -238,6 +242,11 @@ type Stats struct {
 	AgingPromotions int64 `json:"aging_promotions"`
 	// ArenaBytes is the summed staging-arena capacity across channels.
 	ArenaBytes int64 `json:"arena_bytes"`
+	// ArenaHighWater is each channel's peak staging-arena occupancy
+	// (indexed like LaneJobs; 0 for channels without an arena). Peaks
+	// near the per-channel capacity mean jobs are about to spill to
+	// heap fallback; peaks far below it mean the carve is oversized.
+	ArenaHighWater []int64 `json:"arena_high_water,omitempty"`
 }
 
 // request is one job handed to a device channel.
@@ -661,6 +670,18 @@ func (s *Scheduler) Stats() Stats {
 	out.AgingPromotions = s.promotions
 	s.qmu.Unlock()
 	out.ArenaBytes = s.arenaBytes
+	// High-water marks move while the scheduler runs; read them live,
+	// outside both mutexes (the executors do their own locking).
+	for i, d := range s.devices {
+		if az, ok := d.(ArenaSizer); ok {
+			if hw := az.ArenaHighWater(); hw > 0 {
+				if out.ArenaHighWater == nil {
+					out.ArenaHighWater = make([]int64, len(s.devices))
+				}
+				out.ArenaHighWater[i] = hw
+			}
+		}
+	}
 	return out
 }
 
@@ -717,7 +738,9 @@ func (s *Scheduler) noteFallback(reason RouteReason) {
 // dispatch_lane<i>_jobs, dispatch_faults, dispatch_timeouts,
 // dispatch_retries, dispatch_fallback_{fanin,budget,arena,saturated,fault},
 // dispatch_queue_depth, dispatch_queue_high, dispatch_queue_low,
-// dispatch_aging_promotions, dispatch_arena_bytes).
+// dispatch_aging_promotions, dispatch_arena_bytes,
+// dispatch_arena_high_water_bytes — the most-pressured channel's peak
+// arena occupancy, i.e. how close the pool has come to heap spill).
 func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 	stat := func(pick func(Stats) float64) func() float64 {
 		return func() float64 { return pick(s.Stats()) }
@@ -737,6 +760,15 @@ func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 	r.GaugeFunc("dispatch_queue_low", stat(func(st Stats) float64 { return float64(st.QueueDepthLow) }))
 	r.GaugeFunc("dispatch_aging_promotions", stat(func(st Stats) float64 { return float64(st.AgingPromotions) }))
 	r.GaugeFunc("dispatch_arena_bytes", stat(func(st Stats) float64 { return float64(st.ArenaBytes) }))
+	r.GaugeFunc("dispatch_arena_high_water_bytes", stat(func(st Stats) float64 {
+		var peak int64
+		for _, hw := range st.ArenaHighWater {
+			if hw > peak {
+				peak = hw
+			}
+		}
+		return float64(peak)
+	}))
 	for i := range s.devices {
 		lane := i
 		r.GaugeFunc(fmt.Sprintf("dispatch_lane%d_jobs", lane), func() float64 {

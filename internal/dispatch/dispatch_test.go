@@ -547,10 +547,35 @@ type arenaExec struct {
 	fakeExec
 	arenaBytes  int64
 	inputBudget int64
+	highWater   atomic.Int64
 }
 
 func (e *arenaExec) ArenaBytes() int64       { return e.arenaBytes }
 func (e *arenaExec) ArenaInputBudget() int64 { return e.inputBudget }
+func (e *arenaExec) ArenaHighWater() int64   { return e.highWater.Load() }
+
+// TestArenaHighWaterStats proves Stats surfaces each channel's live
+// high-water mark per snapshot and PublishMetrics exposes the pool peak
+// as dispatch_arena_high_water_bytes.
+func TestArenaHighWaterStats(t *testing.T) {
+	devA := &arenaExec{fakeExec: fakeExec{name: "fcae0"}, arenaBytes: 1 << 20, inputBudget: 1 << 19}
+	devB := &arenaExec{fakeExec: fakeExec{name: "fcae1"}, arenaBytes: 1 << 20, inputBudget: 1 << 19}
+	s := newTestSched(t, Config{Devices: []compaction.Executor{devA, devB}, CPU: &fakeExec{name: "cpu"}})
+	if hw := s.Stats().ArenaHighWater; hw != nil {
+		t.Fatalf("ArenaHighWater = %v before any occupancy, want nil (omitted)", hw)
+	}
+	devA.highWater.Store(4096)
+	devB.highWater.Store(8192)
+	st := s.Stats()
+	if len(st.ArenaHighWater) != 2 || st.ArenaHighWater[0] != 4096 || st.ArenaHighWater[1] != 8192 {
+		t.Fatalf("ArenaHighWater = %v, want [4096 8192]", st.ArenaHighWater)
+	}
+	r := obs.NewRegistry()
+	s.PublishMetrics(r)
+	if got := r.Snapshot().Gauges["dispatch_arena_high_water_bytes"]; got != 8192 {
+		t.Fatalf("dispatch_arena_high_water_bytes = %v, want 8192 (most-pressured channel)", got)
+	}
+}
 
 // TestArenaAdmission proves a job larger than the channels' staging
 // arenas routes straight to the CPU lane without a device attempt.

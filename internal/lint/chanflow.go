@@ -504,6 +504,12 @@ func runChanUnderLock(pass *ModulePass) {
 		b.fi = fi
 		bodies = append(bodies, b)
 		declBodies = append(declBodies, b)
+		// //fcae:impl-pure claims the body never blocks on a channel; a
+		// direct blocking op inside it makes the directive the bug.
+		if fi.ImplPure() && len(b.ops) > 0 {
+			pass.ReportCat(b.ops[0].pos, "chan-under-lock",
+				"%s is marked %s but performs a %s", fi.Name(), implPureDirective, b.ops[0].what)
+		}
 		for _, lit := range nestedFuncLits(fi.Decl.Body) {
 			lb := sweepChanLockBody(m, fi.Pkg, lit.Body, "", "function literal in "+fi.Name())
 			bodies = append(bodies, lb)
@@ -598,6 +604,16 @@ func sweepChanLockBody(m *Module, pkg *Package, body *ast.BlockStmt, entryKey, n
 			}
 			if callee := m.StaticCallee(pkg.Info, n); callee != nil {
 				events = append(events, chanLockEvent{pos: n.Pos(), kind: clCall, callee: callee})
+			} else {
+				// Interface dispatch / function-value call: any resolved
+				// implementation may block, except those declared
+				// //fcae:impl-pure.
+				for _, dc := range m.DynamicCallees(pkg.Info, n) {
+					if dc.ImplPure() {
+						continue
+					}
+					events = append(events, chanLockEvent{pos: n.Pos(), kind: clCall, callee: dc})
+				}
 			}
 		}
 		return true

@@ -14,9 +14,14 @@ import (
 // per-function summaries that compose across package boundaries (lockorder
 // composes held-lock sets through calls; taint composes unchecked-bound
 // parameter sinks). Dynamic dispatch — interface method calls, calls
-// through stored function values — is intentionally unresolved: a summary
-// only ever understates what a callee does, so the composed analyses stay
-// false-positive-free at the cost of missing dynamic paths.
+// through stored function values — resolves through the type-set resolver
+// in dyncall.go (Module.DynamicCallees): an interface call fans out to the
+// concrete method of every instantiated module type implementing the
+// interface, and a function-value call fans out to the named funcs and
+// bound methods the assignment-flow pass saw stored into that slot. The
+// union over-approximates any one call site, so analyzers that propagate
+// "callee might do X" facts stay sound; the //fcae:impl-pure directive
+// exempts implementations where the over-approximation would be noise.
 
 // FuncInfo pairs a declared function with its body and owning package.
 type FuncInfo struct {
@@ -48,6 +53,7 @@ type Module struct {
 
 	funcs map[*types.Func]*FuncInfo
 	order []*FuncInfo // deterministic iteration order (by position)
+	dyn   *dynResolver
 }
 
 // BuildModule indexes the module's declared functions. Packages must come
@@ -75,6 +81,7 @@ func BuildModule(pkgs []*Package) *Module {
 		}
 	}
 	sort.Slice(m.order, func(i, j int) bool { return m.order[i].Decl.Pos() < m.order[j].Decl.Pos() })
+	m.dyn = buildDynResolver(m)
 	return m
 }
 
@@ -88,8 +95,18 @@ func (m *Module) FuncInfo(fn *types.Func) *FuncInfo { return m.funcs[fn] }
 // StaticCallee resolves call to a module function when the call is direct:
 // a plain function call, a package-qualified call, or a method call on a
 // concrete receiver type. Interface dispatch and calls through function
-// values return nil.
+// values return nil — use DynamicCallees for those.
 func (m *Module) StaticCallee(info *types.Info, call *ast.CallExpr) *FuncInfo {
+	fi := m.staticCalleeOf(info, call)
+	if fi != nil {
+		m.noteStaticEdge(call)
+	}
+	return fi
+}
+
+// staticCalleeOf is StaticCallee without the edge accounting, for use
+// during resolver construction (before counters exist to be meaningful).
+func (m *Module) staticCalleeOf(info *types.Info, call *ast.CallExpr) *FuncInfo {
 	var obj types.Object
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:

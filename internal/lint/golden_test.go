@@ -14,14 +14,18 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata want.txt golden files")
 
-// goldenAnalyzers maps each testdata/<name> corpus to its analyzer.
-var goldenAnalyzers = map[string]*lint.Analyzer{
-	"lockorder": lint.LockOrder,
-	"devmem":    lint.DevMem,
-	"taint":     lint.Taint,
-	"goleak":    lint.GoLeak,
-	"chanflow":  lint.ChanFlow,
-	"hotalloc":  lint.HotAlloc,
+// goldenAnalyzers maps each testdata/<name> corpus to the analyzers run
+// over its cases. The dyncall corpus exercises the dynamic-dispatch
+// resolver through every module analyzer that consumes it.
+var goldenAnalyzers = map[string][]*lint.Analyzer{
+	"lockorder": {lint.LockOrder},
+	"devmem":    {lint.DevMem},
+	"taint":     {lint.Taint},
+	"goleak":    {lint.GoLeak},
+	"chanflow":  {lint.ChanFlow},
+	"hotalloc":  {lint.HotAlloc},
+	"enumstr":   {lint.EnumStr},
+	"dyncall":   {lint.LockOrder, lint.GoLeak, lint.Taint, lint.ChanFlow, lint.HotAlloc},
 }
 
 // TestGoldenCorpus loads every fixture module under testdata/<analyzer>/
@@ -32,7 +36,7 @@ var goldenAnalyzers = map[string]*lint.Analyzer{
 // -update` after an intentional message or position change.
 func TestGoldenCorpus(t *testing.T) {
 	t.Parallel()
-	for name, analyzer := range goldenAnalyzers {
+	for name, analyzers := range goldenAnalyzers {
 		corpus := filepath.Join("testdata", name)
 		entries, err := os.ReadDir(corpus)
 		if err != nil {
@@ -44,7 +48,7 @@ func TestGoldenCorpus(t *testing.T) {
 				continue
 			}
 			caseDir := filepath.Join(corpus, e.Name())
-			got := runGoldenCase(t, analyzer, caseDir)
+			got := runGoldenCase(t, analyzers, caseDir)
 			if got == "" {
 				sawClean = true
 			} else {
@@ -72,9 +76,9 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
-// runGoldenCase loads the fixture module in dir and renders the single
-// analyzer's diagnostics with module-relative paths, one per line.
-func runGoldenCase(t *testing.T, analyzer *lint.Analyzer, dir string) string {
+// runGoldenCase loads the fixture module in dir and renders the given
+// analyzers' diagnostics with module-relative paths, one per line.
+func runGoldenCase(t *testing.T, analyzers []*lint.Analyzer, dir string) string {
 	t.Helper()
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -84,7 +88,7 @@ func runGoldenCase(t *testing.T, analyzer *lint.Analyzer, dir string) string {
 	if err != nil {
 		t.Fatalf("%s: load: %v", dir, err)
 	}
-	diags := lint.Check(pkgs, []*lint.Analyzer{analyzer})
+	diags := lint.Check(pkgs, analyzers)
 	var lines []string
 	for _, d := range diags {
 		rel, err := filepath.Rel(abs, d.Pos.Filename)

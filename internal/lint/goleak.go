@@ -76,6 +76,14 @@ func checkGoStmt(pass *ModulePass, fi *FuncInfo, gs *ast.GoStmt, closers map[*ty
 		owner = namedOf(info.TypeOf(fun.X))
 		if callee := m.StaticCallee(info, gs.Call); callee != nil {
 			body, bpkg = callee.Decl.Body, callee.Pkg
+		} else if dcs := m.DynamicCallees(info, gs.Call); len(dcs) > 0 {
+			// Goroutine launched through an interface (or func value): the
+			// body may be any resolved implementation, so the discipline
+			// applies to each whose receiver is itself a lifecycle type.
+			for _, dc := range dcs {
+				checkDynamicSpawn(pass, gs, dc, closers, waitOK)
+			}
+			return
 		}
 	case *ast.FuncLit:
 		// go func(){...}() inside a method: the receiver's type owns it.
@@ -151,6 +159,62 @@ func checkGoStmt(pass *ModulePass, fi *FuncInfo, gs *ast.GoStmt, closers map[*ty
 	}
 }
 
+// checkDynamicSpawn applies the join discipline to one concrete method a
+// `go iface.M()` statement may resolve to. The Add-before-go check is
+// skipped: the spawner holds only the interface and cannot name the
+// concrete type's WaitGroup field, so registration is the implementation's
+// contract (Done in the body, Wait from its own Close/Stop).
+func checkDynamicSpawn(pass *ModulePass, gs *ast.GoStmt, dc *FuncInfo, closers map[*types.Named][]*FuncInfo, waitOK map[*types.Named]bool) {
+	m := pass.Module
+	recv := dc.Obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	owner := namedOf(recv.Type())
+	if owner == nil || len(closers[owner]) == 0 {
+		return // implementation is not a lifecycle type; out of scope
+	}
+
+	if !hasWaitGroupField(owner) {
+		pass.Reportf(gs.Pos(),
+			"goroutine resolves to %s but %s has no sync.WaitGroup field; Close cannot join it (add a wg field: Done in the body, Wait in Close)",
+			dc.Name(), owner.Obj().Name())
+		return
+	}
+
+	done := false
+	ast.Inspect(dc.Decl.Body, func(n ast.Node) bool {
+		if done {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isWGFieldCall(dc.Pkg, owner, call, "Done") {
+			done = true
+		}
+		return true
+	})
+	if !done {
+		pass.Reportf(gs.Pos(),
+			"goroutine resolves to %s which never calls Done on %s's WaitGroup; Close would wait forever (defer it first in the body)",
+			dc.Name(), owner.Obj().Name())
+	}
+
+	if _, seen := waitOK[owner]; !seen {
+		ok := false
+		for _, closer := range closers[owner] {
+			if waitReachable(m, owner, closer, make(map[*FuncInfo]bool)) {
+				ok = true
+				break
+			}
+		}
+		waitOK[owner] = ok
+		if !ok {
+			pass.Reportf(gs.Pos(),
+				"%s spawns goroutines but neither Close nor Stop reaches a Wait on its WaitGroup; workers leak past shutdown",
+				owner.Obj().Name())
+		}
+	}
+}
+
 // hasWaitGroupField reports whether the named struct type declares a
 // sync.WaitGroup field (embedded or named).
 func hasWaitGroupField(n *types.Named) bool {
@@ -206,9 +270,18 @@ func waitReachable(m *Module, owner *types.Named, start *FuncInfo, visited map[*
 			found = true
 			return false
 		}
-		if callee := m.StaticCallee(start.Pkg.Info, call); callee != nil && waitReachable(m, owner, callee, visited) {
-			found = true
-			return false
+		if callee := m.StaticCallee(start.Pkg.Info, call); callee != nil {
+			if waitReachable(m, owner, callee, visited) {
+				found = true
+				return false
+			}
+			return true
+		}
+		for _, dc := range m.DynamicCallees(start.Pkg.Info, call) {
+			if waitReachable(m, owner, dc, visited) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

@@ -176,6 +176,13 @@ func collectHotAllocBody(m *Module, fi *FuncInfo) *haBody {
 			}
 			if callee := m.StaticCallee(info, n); callee != nil {
 				b.calls = append(b.calls, haCall{callee, inLoop})
+			} else {
+				// Interface dispatch / function-value call inside a hot
+				// region: every resolved implementation inherits the
+				// hotness, so its alloc sites get flagged too.
+				for _, dc := range m.DynamicCallees(info, n) {
+					b.calls = append(b.calls, haCall{dc, inLoop})
+				}
 			}
 			if !inReturn {
 				if boxed := boxedArg(info, n); boxed != "" {

@@ -72,7 +72,7 @@ type Analyzer struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MutexGuard, ObsCallback, ErrWrap, BufAlias, UncheckedClose, CycleFlow,
-		LockOrder, DevMem, Taint, GoLeak, ChanFlow, HotAlloc,
+		LockOrder, DevMem, Taint, GoLeak, ChanFlow, HotAlloc, EnumStr,
 	}
 }
 
@@ -80,7 +80,17 @@ func Analyzers() []*Analyzer {
 // findings sorted by file position. Analyzers run in parallel, each
 // accumulating into its own slice; go/types structures are read-only
 // after loading, so concurrent passes over shared packages are safe.
+// (The dynamic resolver's caches are mutex-guarded for the same reason.)
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := CheckStats(pkgs, analyzers)
+	return diags
+}
+
+// CheckStats is Check plus the call-edge counts the module analyzers
+// resolved — the fcaelint -json report header, so a baseline records
+// whether it was produced with dynamic resolution and how much of the
+// call graph it covered.
+func CheckStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, ResolverStats) {
 	var mod *Module
 	for _, a := range analyzers {
 		if a.RunModule != nil {
@@ -130,7 +140,11 @@ func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	var stats ResolverStats
+	if mod != nil {
+		stats = mod.ResolverStats()
+	}
+	return diags, stats
 }
 
 // errorType is the universe error interface, shared by several analyzers.

@@ -83,6 +83,12 @@ func runLockOrder(pass *ModulePass) {
 		b := sweepLockBody(m, fi.Pkg, fi.Decl.Body, lockEntryKey(fi), fi.Name())
 		b.fi = fi
 		decls = append(decls, b)
+		// //fcae:impl-pure claims the body is lock-free; a direct
+		// acquisition inside it invalidates the exemption everywhere the
+		// dynamic resolver honored it, so the directive itself is the bug.
+		if fi.ImplPure() && len(b.acqs) > 0 {
+			pass.Reportf(b.acqs[0].pos, "%s is marked %s but acquires %s", fi.Name(), implPureDirective, b.acqs[0].key)
+		}
 		for _, lit := range nestedFuncLits(fi.Decl.Body) {
 			lb := sweepLockBody(m, fi.Pkg, lit.Body, "", "function literal in "+fi.Name())
 			lits = append(lits, lb)
@@ -224,6 +230,16 @@ func sweepLockBody(m *Module, pkg *Package, body *ast.BlockStmt, entryKey, name 
 			}
 			if callee := m.StaticCallee(pkg.Info, n); callee != nil {
 				events = append(events, loEvent{pos: n.Pos(), kind: loCall, callee: callee})
+			} else {
+				// Interface dispatch / function-value call: the acquisition
+				// facts of every possible concrete callee apply, except
+				// implementations marked //fcae:impl-pure.
+				for _, dc := range m.DynamicCallees(pkg.Info, n) {
+					if dc.ImplPure() {
+						continue
+					}
+					events = append(events, loEvent{pos: n.Pos(), kind: loCall, callee: dc})
+				}
 			}
 		}
 		return true

@@ -281,6 +281,20 @@ func sweepTaint(b *taintBody, sums map[*FuncInfo]*taintSummary, init map[types.O
 			}
 			callee := m.StaticCallee(b.pkg.Info, act.call)
 			if callee == nil {
+				// Interface dispatch: the argument may land in any resolved
+				// implementation's sink parameter.
+				for _, dc := range m.DynamicCallees(b.pkg.Info, act.call) {
+					s := sums[dc]
+					if s == nil {
+						continue
+					}
+					for i, arg := range act.call.Args {
+						if s.sinkParams[i] && tainted(arg) {
+							report(arg.Pos(), "untrusted decoded value may reach parameter "+
+								paramName(dc, i)+" of "+dc.Name()+" via dynamic dispatch, which uses it as an unchecked bound")
+						}
+					}
+				}
 				continue
 			}
 			s := sums[callee]
@@ -322,6 +336,13 @@ func taintMultiAssign(b *taintBody, sums map[*FuncInfo]*taintSummary, state map[
 				if s := sums[callee]; s != nil && s.returnsTainted {
 					lhs := act.lhs[i]
 					return lhs != nil && isIntegerObj(lhs)
+				}
+			} else {
+				for _, dc := range b.m.DynamicCallees(b.pkg.Info, act.multi) {
+					if s := sums[dc]; s != nil && s.returnsTainted {
+						lhs := act.lhs[i]
+						return lhs != nil && isIntegerObj(lhs)
+					}
 				}
 			}
 		}
@@ -371,6 +392,12 @@ func taintedExpr(pkg *Package, m *Module, sums map[*FuncInfo]*taintSummary, stat
 			if callee := m.StaticCallee(pkg.Info, x); callee != nil {
 				if s := sums[callee]; s != nil && s.returnsTainted {
 					return true
+				}
+			} else {
+				for _, dc := range m.DynamicCallees(pkg.Info, x) {
+					if s := sums[dc]; s != nil && s.returnsTainted {
+						return true
+					}
 				}
 			}
 		}

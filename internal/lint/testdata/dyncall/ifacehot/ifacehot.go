@@ -1,0 +1,30 @@
+// Package fixture: a per-iteration allocation reached from a hot loop
+// through interface dispatch. Accumulate is cycle-accounted and calls the
+// Emitter seam per iteration; the live implementation Collector makes a
+// fresh scratch slice on every call. Without dynamic-dispatch resolution
+// the hotness never propagates into Collector.Emit.
+package fixture
+
+// Emitter is the output seam.
+type Emitter interface{ Emit(n int) }
+
+// Accumulate drains the modeled device FIFO.
+//
+//fcae:cycle-accounting
+func Accumulate(e Emitter, rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Emit(i)
+	}
+}
+
+// Collector implements Emitter.
+type Collector struct{ buf []byte }
+
+// Emit allocates scratch per call instead of reusing it.
+func (c *Collector) Emit(n int) {
+	tmp := make([]byte, n)
+	c.buf = tmp
+}
+
+// New returns the live emitter.
+func New() Emitter { return &Collector{} }

@@ -1,0 +1,32 @@
+// Package fixture: a goroutine leak hidden behind an interface. Pool
+// launches workers it only knows as Runners; the live implementation is
+// Worker, a lifecycle type whose Close waits on its WaitGroup — but Run
+// never calls Done, so Close blocks forever. Without dynamic-dispatch
+// resolution the goroutine body is unresolvable and the leak invisible.
+package fixture
+
+import "sync"
+
+// Runner is the work seam.
+type Runner interface{ Run() }
+
+// Pool launches runners without knowing their concrete type.
+type Pool struct{ r Runner }
+
+// Start spawns the runner.
+func (p *Pool) Start() { go p.r.Run() }
+
+// Worker is a lifecycle type: Close joins its WaitGroup.
+type Worker struct{ wg sync.WaitGroup }
+
+// Run does the work but never calls Done.
+func (w *Worker) Run() {}
+
+// Close waits for workers that never signal completion.
+func (w *Worker) Close() error {
+	w.wg.Wait()
+	return nil
+}
+
+// New wires a pool over a worker.
+func New() *Pool { return &Pool{r: &Worker{}} }

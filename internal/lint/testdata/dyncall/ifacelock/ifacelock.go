@@ -1,0 +1,58 @@
+// Package fixture: a lock cycle only visible through interface dispatch.
+// Device.Submit holds Device.mu and stages through the Sink seam; the
+// only live Sink is Spiller, whose Stage takes Spiller.mu. The reverse
+// edge is static: Spiller.Drain holds Spiller.mu and calls Device.Reset,
+// which takes Device.mu. Without dynamic-dispatch resolution the first
+// edge is invisible and the cycle goes unreported.
+package fixture
+
+import "sync"
+
+// Sink stages bytes for the device.
+type Sink interface{ Stage() }
+
+// Device serializes submissions with its mutex.
+type Device struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+// Submit stages through the interface with the device lock held.
+func (d *Device) Submit() {
+	d.mu.Lock()
+	d.sink.Stage()
+	d.mu.Unlock()
+}
+
+// Reset clears device state.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// Spiller implements Sink with its own lock.
+type Spiller struct {
+	mu  sync.Mutex
+	dev *Device
+}
+
+// Stage implements Sink.
+func (s *Spiller) Stage() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Drain resets the device with the spiller lock held: the static half of
+// the cycle.
+func (s *Spiller) Drain() {
+	s.mu.Lock()
+	s.dev.Reset()
+	s.mu.Unlock()
+}
+
+// New wires a device to its spiller.
+func New() *Device {
+	d := &Device{}
+	d.sink = &Spiller{dev: d}
+	return d
+}

@@ -1,0 +1,37 @@
+// Package fixture: an unchecked decoded length crossing an interface.
+// Use decodes a varint from untrusted bytes and hands it through the
+// Decoder seam; the live implementation Raw indexes with it unchecked.
+// Without dynamic-dispatch resolution the sink parameter summary never
+// reaches the call site.
+package fixture
+
+import "encoding/binary"
+
+// Decoder is the read seam.
+type Decoder interface {
+	ReadAt(buf []byte, n uint64) byte
+}
+
+// Raw reads without validation.
+type Raw struct{}
+
+// ReadAt indexes with n unchecked: a sink parameter.
+func (Raw) ReadAt(buf []byte, n uint64) byte { return buf[n] }
+
+// Use decodes a length and passes it through the seam unchecked.
+func Use(d Decoder, buf []byte) byte {
+	n, _ := binary.Uvarint(buf)
+	return d.ReadAt(buf, n)
+}
+
+// Checked validates before the same call, staying clean.
+func Checked(d Decoder, buf []byte) byte {
+	n, _ := binary.Uvarint(buf)
+	if n >= uint64(len(buf)) {
+		return 0
+	}
+	return d.ReadAt(buf, n)
+}
+
+// New returns the live decoder.
+func New() Decoder { return Raw{} }

@@ -1,0 +1,60 @@
+// Package fixture: the //fcae:impl-pure escape hatch. Store.Snapshot
+// holds Store.mu and samples through the Gauge seam. The only live Gauge
+// is Probe, whose Sample is itself lock-free but forwards through the
+// Inner seam, where the type-set union picks up Blocker.Deep (a channel
+// send) — a pairing this program never constructs on the locked path.
+// The directive cuts Probe.Sample out of dynamic propagation; the
+// analyzers validate that its body really has no direct lock or channel
+// operation, so the exemption cannot rot silently. Expected: clean.
+package fixture
+
+import "sync"
+
+// Gauge is the sampling seam.
+type Gauge interface{ Sample() }
+
+// Inner is the forwarding seam.
+type Inner interface{ Deep() }
+
+// Store snapshots under its mutex.
+type Store struct {
+	mu sync.Mutex
+	g  Gauge
+}
+
+// Snapshot samples with the lock held.
+func (s *Store) Snapshot() {
+	s.mu.Lock()
+	s.g.Sample()
+	s.mu.Unlock()
+}
+
+// Probe forwards through Inner. Its body performs no lock or channel
+// operation; the blocking path the resolver unions in through Inner is
+// never wired on the locked Store path.
+type Probe struct{ in Inner }
+
+// Sample forwards to the inner seam.
+//
+//fcae:impl-pure the probe is wired to Quiet on the locked path
+func (p *Probe) Sample() { p.in.Deep() }
+
+// Quiet is the inner used on the locked path.
+type Quiet struct{ n int64 }
+
+// Deep implements Inner without blocking.
+func (q *Quiet) Deep() { q.n++ }
+
+// Blocker is an Inner used only on the unlocked pipeline.
+type Blocker struct{ ch chan int64 }
+
+// Deep hands the sample to a drain goroutine.
+func (b *Blocker) Deep() { b.ch <- 1 }
+
+// Drain receives what Blocker sends, on the unlocked path.
+func (b *Blocker) Drain() int64 { return <-b.ch }
+
+// New wires the locked store to a quiet probe; blockers live elsewhere.
+func New() (*Store, *Blocker) {
+	return &Store{g: &Probe{in: &Quiet{}}}, &Blocker{ch: make(chan int64, 1)}
+}

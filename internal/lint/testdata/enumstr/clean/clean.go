@@ -1,0 +1,116 @@
+// Package fixture: enums that satisfy the convention. Kind covers every
+// constant in both String and UnmarshalJSON; Tier's decoder delegates
+// coverage to String with the range-scan idiom; Bare has no JSON methods,
+// which is fine — the pair rule only fires on asymmetry.
+package fixture
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is a record kind.
+type Kind int
+
+// Kinds.
+const (
+	KindFull Kind = iota
+	KindFragment
+)
+
+// String covers every kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindFragment:
+		return "fragment"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the kind string.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, k.String()), nil
+}
+
+// UnmarshalJSON covers every kind.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	switch s {
+	case "full":
+		*k = KindFull
+	case "fragment":
+		*k = KindFragment
+	default:
+		return fmt.Errorf("unknown kind %q", s)
+	}
+	return nil
+}
+
+// Tier is a storage tier.
+type Tier int
+
+// Tiers.
+const (
+	TierHot Tier = iota
+	TierWarm
+	TierCold
+)
+
+// String covers every tier.
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierWarm:
+		return "warm"
+	case TierCold:
+		return "cold"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the tier string.
+func (t Tier) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, t.String()), nil
+}
+
+// UnmarshalJSON scans the value range against String, delegating
+// coverage to it.
+func (t *Tier) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	for c := TierHot; c <= TierCold; c++ {
+		if c.String() == s {
+			*t = c
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown tier %q", s)
+}
+
+// Bare is an enum without a JSON surface.
+type Bare int
+
+// Bare values.
+const (
+	BareA Bare = iota
+	BareB
+)
+
+// String covers every value.
+func (b Bare) String() string {
+	switch b {
+	case BareA:
+		return "a"
+	case BareB:
+		return "b"
+	}
+	return "unknown"
+}

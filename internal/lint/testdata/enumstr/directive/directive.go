@@ -1,0 +1,63 @@
+// Package fixture: the //fcae:enum-no-roundtrip escape hatch. Signal is
+// an emit-only metrics enum — it is marshaled into reports but never
+// parsed back — and says so with a reasoned directive: no finding. Half
+// declares the same intent without a reason, which is itself the finding
+// (the pair rule stays suppressed; the missing reason is what's left to
+// fix).
+package fixture
+
+import "strconv"
+
+// Signal is an emit-only status value.
+type Signal int
+
+// Signals.
+const (
+	SignalOK Signal = iota
+	SignalDegraded
+)
+
+// String covers every signal.
+func (s Signal) String() string {
+	switch s {
+	case SignalOK:
+		return "ok"
+	case SignalDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the signal for the metrics report.
+//
+//fcae:enum-no-roundtrip emitted into reports, never parsed back
+func (s Signal) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, s.String()), nil
+}
+
+// Half is emit-only too, but forgot to say why.
+type Half int
+
+// Half values.
+const (
+	HalfA Half = iota
+	HalfB
+)
+
+// String covers every value.
+func (h Half) String() string {
+	switch h {
+	case HalfA:
+		return "a"
+	case HalfB:
+		return "b"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the value.
+//
+//fcae:enum-no-roundtrip
+func (h Half) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, h.String()), nil
+}

@@ -1,0 +1,85 @@
+// Package fixture: enum-convention violations. Phase's newest constant
+// never made it into String; Mode has a MarshalJSON with no inverse; and
+// Level's decoder forgot one case its encoder produces.
+package fixture
+
+import "strconv"
+
+// Phase is a compaction phase.
+type Phase int
+
+// Phases.
+const (
+	PhaseBuild Phase = iota
+	PhaseMerge
+	PhaseFlush
+)
+
+// String is missing the PhaseFlush case.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBuild:
+		return "build"
+	case PhaseMerge:
+		return "merge"
+	}
+	return "unknown"
+}
+
+// Mode selects an execution mode.
+type Mode int
+
+// Modes.
+const (
+	ModeHost Mode = iota
+	ModeDevice
+)
+
+// String covers every mode.
+func (m Mode) String() string {
+	if m == ModeDevice {
+		return "device"
+	}
+	_ = ModeHost
+	return "host"
+}
+
+// MarshalJSON has no UnmarshalJSON inverse.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, m.String()), nil
+}
+
+// Level is a verbosity level.
+type Level int
+
+// Levels.
+const (
+	LevelInfo Level = iota
+	LevelDebug
+)
+
+// String covers every level.
+func (l Level) String() string {
+	if l == LevelDebug {
+		return "debug"
+	}
+	_ = LevelInfo
+	return "info"
+}
+
+// MarshalJSON encodes the level string.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, l.String()), nil
+}
+
+// UnmarshalJSON forgot the LevelDebug case.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return err
+	}
+	if s == "info" {
+		*l = LevelInfo
+	}
+	return nil
+}

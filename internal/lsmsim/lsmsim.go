@@ -28,10 +28,13 @@ const (
 )
 
 func (b Backend) String() string {
-	if b == BackendFCAE {
+	switch b {
+	case BackendCPU:
+		return "LevelDB"
+	case BackendFCAE:
 		return "LevelDB-FCAE"
 	}
-	return "LevelDB"
+	return "unknown"
 }
 
 // Config parameterizes one simulated run; zero fields take the paper's

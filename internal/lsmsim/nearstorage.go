@@ -28,10 +28,13 @@ const (
 )
 
 func (p Placement) String() string {
-	if p == PlacementNearStorage {
+	switch p {
+	case PlacementPCIe:
+		return "pcie"
+	case PlacementNearStorage:
 		return "near-storage"
 	}
-	return "pcie"
+	return "unknown"
 }
 
 // SSD internal-channel model for the near-storage placement. Open-channel
