@@ -163,6 +163,9 @@ func main() {
 		ds.DeviceJobs, ds.CPUJobs, ds.LaneJobs, ds.Faults, ds.Timeouts, ds.Retries,
 		ds.FallbackFanIn, ds.FallbackBudget, ds.FallbackArena, ds.FallbackSaturated, ds.FallbackFault,
 		ds.AgingPromotions, ds.ArenaBytes)
+	if len(ds.ArenaHighWater) > 0 {
+		fmt.Printf("arena high-water per channel: %v bytes\n", ds.ArenaHighWater)
+	}
 	levels := db.LevelFiles()
 	fmt.Printf("level files: %v\n", levels)
 

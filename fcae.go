@@ -6,7 +6,7 @@
 // same merges the hardware would while accounting device cycles with the
 // paper's pipeline model.
 //
-// The API groups into three areas:
+// The API groups into four areas:
 //
 //   - Database lifecycle: Open, Repair, DB and its Put/Get/Write/Iterator
 //     methods, Batch, Snapshot. The zero Options value is a working
@@ -29,6 +29,12 @@
 //     outside it — listeners may read DB state but must not invoke
 //     blocking operations such as Flush or Close.
 //
+//   - Network service: OpenServer serves a store over TCP (pipelined
+//     binary protocol, group-commit write coalescing, stall-aware write
+//     admission, an HTTP admin plane with /metrics and /healthz);
+//     DialServer returns the pooled pipelining Client. cmd/fcaeserver is
+//     the standalone binary.
+//
 // Quickstart:
 //
 //	db, err := fcae.Open(dir, fcae.Options{Executor: fcae.MustNewEngineExecutor(fcae.MultiInputEngineConfig())})
@@ -46,6 +52,8 @@ import (
 	"fcae/internal/dispatch"
 	"fcae/internal/lsm"
 	"fcae/internal/obs"
+	"fcae/internal/server"
+	"fcae/internal/server/client"
 )
 
 // Database lifecycle types. See the lsm package for method documentation.
@@ -252,6 +260,56 @@ var (
 	// ErrClosed is returned after Close.
 	ErrClosed = lsm.ErrClosed
 )
+
+// Network service types. OpenServer starts the TCP KV service (pipelined
+// length-prefixed binary protocol with out-of-order responses, a
+// group-commit write coalescer, stall-aware write admission, and an HTTP
+// admin plane serving /metrics and /healthz); DialServer returns the
+// pooled, pipelining client for it. cmd/fcaeserver wraps OpenServer as a
+// standalone binary.
+type (
+	// Server is the TCP KV service handle. Close drains connections,
+	// commits queued writes, and closes the store.
+	Server = server.Server
+	// ServerConfig tunes the server: listen addresses, in-flight and
+	// group-commit bounds, commit window, frame and scan limits.
+	ServerConfig = server.Config
+	// Client is the pooled, pipelining network client.
+	Client = client.Client
+	// ClientOptions configures DialServer: address, pool size, pipeline
+	// depth, dial and per-op timeouts.
+	ClientOptions = client.Options
+	// ClientBatch accumulates Put/Delete ops for one atomic Client.Write.
+	ClientBatch = server.Batch
+	// ServerError carries a server-side error message across the wire.
+	ServerError = client.ServerError
+	// KV is one key/value pair in a Client.Scan result.
+	KV = server.KV
+)
+
+// Network service errors.
+var (
+	// ErrServerBusy reports a write shed by the server's admission
+	// control (store stalled or commit queue full); retry after backoff.
+	ErrServerBusy = server.ErrServerBusy
+	// ErrServerClosing reports a request rejected because the server is
+	// draining.
+	ErrServerClosing = server.ErrServerClosing
+	// ErrClientClosed reports an operation on a closed Client.
+	ErrClientClosed = client.ErrClientClosed
+	// ErrOpTimeout reports a client operation that outlived its deadline.
+	ErrOpTimeout = client.ErrOpTimeout
+)
+
+// OpenServer opens (creating if necessary) the store at dir and serves
+// it on cfg.Addr. The returned Server owns the store: Server.Close
+// drains and closes it.
+func OpenServer(dir string, opts Options, cfg ServerConfig) (*Server, error) {
+	return server.Open(dir, opts, cfg)
+}
+
+// DialServer connects a client pool to a Server's address.
+func DialServer(opts ClientOptions) (*Client, error) { return client.Dial(opts) }
 
 // Open opens (creating if necessary) a database in dir. Contradictory
 // options are rejected with a descriptive error (see Options.Validate).

@@ -740,7 +740,9 @@ func (s *Scheduler) noteFallback(reason RouteReason) {
 // dispatch_queue_depth, dispatch_queue_high, dispatch_queue_low,
 // dispatch_aging_promotions, dispatch_arena_bytes,
 // dispatch_arena_high_water_bytes — the most-pressured channel's peak
-// arena occupancy, i.e. how close the pool has come to heap spill).
+// arena occupancy, i.e. how close the pool has come to heap spill — and,
+// per arena-sized device channel, dispatch_arena_high_water_bytes_chan<i>
+// so uneven per-channel pressure is visible, not just the max).
 func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 	stat := func(pick func(Stats) float64) func() float64 {
 		return func() float64 { return pick(s.Stats()) }
@@ -775,6 +777,16 @@ func (s *Scheduler) PublishMetrics(r *obs.Registry) {
 			st := s.Stats()
 			if lane < len(st.LaneJobs) {
 				return float64(st.LaneJobs[lane])
+			}
+			return 0
+		})
+		if _, ok := s.devices[i].(ArenaSizer); !ok {
+			continue
+		}
+		r.GaugeFunc(fmt.Sprintf("dispatch_arena_high_water_bytes_chan%d", lane), func() float64 {
+			st := s.Stats()
+			if lane < len(st.ArenaHighWater) {
+				return float64(st.ArenaHighWater[lane])
 			}
 			return 0
 		})

@@ -572,8 +572,33 @@ func TestArenaHighWaterStats(t *testing.T) {
 	}
 	r := obs.NewRegistry()
 	s.PublishMetrics(r)
-	if got := r.Snapshot().Gauges["dispatch_arena_high_water_bytes"]; got != 8192 {
+	snap := r.Snapshot()
+	if got := snap.Gauges["dispatch_arena_high_water_bytes"]; got != 8192 {
 		t.Fatalf("dispatch_arena_high_water_bytes = %v, want 8192 (most-pressured channel)", got)
+	}
+	if got := snap.Gauges["dispatch_arena_high_water_bytes_chan0"]; got != 4096 {
+		t.Fatalf("dispatch_arena_high_water_bytes_chan0 = %v, want 4096", got)
+	}
+	if got := snap.Gauges["dispatch_arena_high_water_bytes_chan1"]; got != 8192 {
+		t.Fatalf("dispatch_arena_high_water_bytes_chan1 = %v, want 8192", got)
+	}
+}
+
+// TestArenaHighWaterGaugeSkipsNonSizers proves the per-channel high-water
+// gauges only register for channels whose executor stages through an
+// arena: a plain device channel gets no _chan<i> gauge.
+func TestArenaHighWaterGaugeSkipsNonSizers(t *testing.T) {
+	dev := &arenaExec{fakeExec: fakeExec{name: "fcae0"}, arenaBytes: 1 << 20, inputBudget: 1 << 19}
+	plain := &fakeExec{name: "fcae1"}
+	s := newTestSched(t, Config{Devices: []compaction.Executor{dev, plain}, CPU: &fakeExec{name: "cpu"}})
+	r := obs.NewRegistry()
+	s.PublishMetrics(r)
+	snap := r.Snapshot()
+	if _, ok := snap.Gauges["dispatch_arena_high_water_bytes_chan0"]; !ok {
+		t.Fatalf("missing dispatch_arena_high_water_bytes_chan0 for the arena-sized channel")
+	}
+	if _, ok := snap.Gauges["dispatch_arena_high_water_bytes_chan1"]; ok {
+		t.Fatalf("dispatch_arena_high_water_bytes_chan1 registered for a channel with no arena")
 	}
 }
 

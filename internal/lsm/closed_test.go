@@ -1,0 +1,65 @@
+package lsm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOpsAfterCloseReturnErrClosed pins the contract the network server
+// relies on: every DB operation issued after Close fails with the typed
+// ErrClosed sentinel (matchable via errors.Is), never nil and never an
+// untyped error.
+func TestOpsAfterCloseReturnErrClosed(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var b Batch
+	b.Put([]byte("k2"), []byte("v2"))
+	checks := []struct {
+		name string
+		err  error
+	}{
+		{"Put", db.Put([]byte("k"), []byte("v"))},
+		{"Delete", db.Delete([]byte("k"))},
+		{"Write", db.Write(&b)},
+		{"Flush", db.Flush()},
+		{"CompactLevel", db.CompactLevel(0)},
+		{"WaitIdle", db.WaitIdle()},
+	}
+	if _, err := db.Get([]byte("k")); true {
+		checks = append(checks, struct {
+			name string
+			err  error
+		}{"Get", err})
+	}
+	if _, err := db.Has([]byte("k")); true {
+		checks = append(checks, struct {
+			name string
+			err  error
+		}{"Has", err})
+	}
+	if _, err := db.NewIterator(); true {
+		checks = append(checks, struct {
+			name string
+			err  error
+		}{"NewIterator", err})
+	}
+	for _, c := range checks {
+		if !errors.Is(c.err, ErrClosed) {
+			t.Errorf("%s after Close = %v, want ErrClosed", c.name, c.err)
+		}
+	}
+
+	// Close stays idempotent: a second call is a no-op, not a failure.
+	if err := db.Close(); err != nil && !errors.Is(err, ErrClosed) {
+		t.Errorf("second Close = %v, want nil or ErrClosed", err)
+	}
+}

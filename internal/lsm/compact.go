@@ -540,8 +540,14 @@ func (db *DB) CompactLevel(level int) error {
 	db.manualLevel = level
 	db.bgCond.Broadcast()
 	for db.manualLevel >= 0 || db.compacting > 0 {
-		if db.closed || db.bgErr != nil {
+		if db.bgErr != nil {
 			return db.bgErr
+		}
+		if db.closed {
+			// Close raced the wait: report the typed sentinel, not the
+			// (nil) background error, so callers can tell "store closing"
+			// from "compaction succeeded".
+			return ErrClosed
 		}
 		db.bgCond.Wait()
 	}
@@ -561,8 +567,11 @@ func (db *DB) Flush() error {
 	for db.imm != nil || db.committing {
 		// Rotating the WAL or swapping memtables under a group leader's
 		// unlocked commit window would tear that group.
-		if db.bgErr != nil || db.closed {
+		if db.bgErr != nil {
 			return db.bgErr
+		}
+		if db.closed {
+			return ErrClosed
 		}
 		db.bgCond.Wait()
 	}
@@ -580,6 +589,10 @@ func (db *DB) Flush() error {
 	for (db.imm != nil || db.flushBusy) && db.bgErr == nil && !db.closed {
 		db.bgCond.Wait()
 	}
+	if db.bgErr == nil && db.closed && (db.imm != nil || db.flushBusy) {
+		// Close interrupted the wait before the flush completed.
+		return ErrClosed
+	}
 	return db.bgErr
 }
 
@@ -589,8 +602,11 @@ func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for {
-		if db.bgErr != nil || db.closed {
+		if db.bgErr != nil {
 			return db.bgErr
+		}
+		if db.closed {
+			return ErrClosed
 		}
 		idle := db.imm == nil && !db.flushBusy && db.compacting == 0 &&
 			db.manualLevel < 0 && db.vs.PickCompaction() == nil

@@ -58,6 +58,13 @@ func (db *DB) Metrics() obs.Metrics {
 	return db.reg.Snapshot()
 }
 
+// Registry exposes the store's metrics registry so embedding layers (the
+// network server) can register their own instruments alongside the
+// store's and serve one unified snapshot.
+func (db *DB) Registry() *obs.Registry {
+	return db.reg
+}
+
 // WriteAmplification returns bytes written by flush+compaction divided by
 // bytes flushed, the standard WA metric.
 func (db *DB) WriteAmplification() float64 {

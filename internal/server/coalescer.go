@@ -1,0 +1,126 @@
+package server
+
+import (
+	"time"
+
+	"fcae/internal/lsm"
+)
+
+// pendingWrite is one client write request queued for the group
+// committer: a validated WRITE-format payload plus its op/byte counts
+// for group accounting. resp is buffered so the committer's reply never
+// blocks on the handler.
+type pendingWrite struct {
+	payload []byte
+	count   int
+	bytes   int
+	resp    chan error
+}
+
+// submitWrite hands a validated write payload to the group committer and
+// waits for its commit. The enqueue is non-blocking: a full queue sheds
+// the write with ErrServerBusy instead of stacking goroutines behind a
+// stalled store (the client retries with backoff; the data was never
+// accepted).
+func (s *Server) submitWrite(payload []byte, count, bytes int) error {
+	pw := &pendingWrite{payload: payload, count: count, bytes: bytes, resp: make(chan error, 1)}
+	// Handlers are joined before Close closes writec, so this send can
+	// never hit a closed channel.
+	select {
+	case s.writec <- pw:
+	default:
+		s.met.busyQueue.Inc()
+		return ErrServerBusy
+	}
+	// The committer drains the queue completely (including after
+	// shutdown begins), so the reply always arrives.
+	return <-pw.resp
+}
+
+// commitLoop is the single group committer: it drains the write queue,
+// merging every concurrently-queued write into one store batch per
+// commit, leader/follower style — the first write of a group pays the
+// commit, the rest ride along. With CommitWindow > 0 the leader lingers
+// that long to let followers arrive; with the default 0 it commits
+// whatever the queue already holds, which still coalesces under load.
+// The loop exits when Close closes the queue, after committing the tail.
+func (s *Server) commitLoop() {
+	defer s.wg.Done()
+	var batch lsm.Batch
+	group := make([]*pendingWrite, 0, 64)
+	for first := range s.writec {
+		group = append(group[:0], first)
+		ops, bytes := first.count, first.bytes
+
+		var window <-chan time.Time
+		var timer *time.Timer
+		if s.cfg.CommitWindow > 0 {
+			timer = time.NewTimer(s.cfg.CommitWindow)
+			window = timer.C
+		}
+	collect:
+		for ops < s.cfg.MaxGroupOps && bytes < s.cfg.MaxGroupBytes {
+			if window != nil {
+				select {
+				case next, ok := <-s.writec:
+					if !ok {
+						break collect
+					}
+					group = append(group, next)
+					ops += next.count
+					bytes += next.bytes
+				case <-window:
+					break collect
+				}
+			} else {
+				select {
+				case next, ok := <-s.writec:
+					if !ok {
+						break collect
+					}
+					group = append(group, next)
+					ops += next.count
+					bytes += next.bytes
+				default:
+					break collect
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		s.commitGroup(&batch, group)
+	}
+}
+
+// commitGroup merges one group into a single store batch, commits it,
+// and fans the result back to every waiting handler.
+func (s *Server) commitGroup(batch *lsm.Batch, group []*pendingWrite) {
+	batch.Reset()
+	var decodeErr error
+	for _, pw := range group {
+		// Payloads were validated at admission; a failure here is a
+		// server bug, surfaced to the whole group rather than silently
+		// committing a partial merge.
+		if err := DecodeWriteOps(pw.payload, func(kind byte, key, value []byte) error {
+			if kind == wireKindDelete {
+				batch.Delete(key)
+			} else {
+				batch.Put(key, value)
+			}
+			return nil
+		}); err != nil {
+			decodeErr = err
+			break
+		}
+	}
+	err := decodeErr
+	if err == nil {
+		err = s.db.Write(batch)
+	}
+	s.met.groupCommits.Inc()
+	s.met.groupedWrites.Add(int64(len(group)))
+	for _, pw := range group {
+		pw.resp <- err
+	}
+}
