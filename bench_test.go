@@ -348,9 +348,10 @@ func TestEngineMergeAllocsBudget(t *testing.T) {
 	}
 	images := engineMergeInputs(t, cfg)
 	// The seed tree measured 2261 allocs/op; scratch reuse brought it to
-	// 890. The budget sits between with headroom for runtime variance —
-	// tight enough that reintroducing a per-block allocation trips it.
-	const budget = 1000
+	// 890. The budget sits just above that with headroom for runtime
+	// variance — tight enough that reintroducing even one per-block
+	// allocation (this workload flushes ~60 blocks per op) trips it.
+	const budget = 950
 	for _, tc := range []struct {
 		name  string
 		arena *core.Arena

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fcae/internal/compaction"
+	"fcae/internal/keys"
+	"fcae/internal/sstable"
+	"fcae/internal/workload"
+)
+
+// The -compact-bench mode times a single N-run compaction end-to-end on
+// the CPU lane, sequential vs pipelined, without a store around it: the
+// runs are built in memory, outputs are discarded, and the pipeline's
+// per-stage stall counters say where the remaining time goes.
+
+// compactBenchSide is one data path's row in the report.
+type compactBenchSide struct {
+	WallNanos int64   `json:"wall_nanos"`
+	OpsPerSec float64 `json:"ops_per_sec"` // merged pairs per second
+	MBPerSec  float64 `json:"mb_per_sec"`  // input bytes per second
+	PairsOut  int     `json:"pairs_out"`
+	Outputs   int     `json:"outputs"`
+
+	// Pipeline stage counters (pipelined side only).
+	Blocks             int64 `json:"pipeline_blocks,omitempty"`
+	PrefetchStalls     int64 `json:"prefetch_stalls,omitempty"`
+	PrefetchStallNanos int64 `json:"prefetch_stall_nanos,omitempty"`
+	EncodeStalls       int64 `json:"encode_stalls,omitempty"`
+	EncodeStallNanos   int64 `json:"encode_stall_nanos,omitempty"`
+	SubmitStalls       int64 `json:"submit_stalls,omitempty"`
+	SubmitStallNanos   int64 `json:"submit_stall_nanos,omitempty"`
+	SizeSyncs          int64 `json:"size_syncs,omitempty"`
+}
+
+// compactBenchReport is the -compact-bench -json schema, uploaded by CI
+// as BENCH_compaction.json.
+type compactBenchReport struct {
+	Config     map[string]any   `json:"config"`
+	InputBytes int64            `json:"input_bytes"`
+	Sequential compactBenchSide `json:"sequential"`
+	Pipelined  compactBenchSide `json:"pipelined"`
+	Speedup    float64          `json:"speedup"`
+}
+
+type discardFile struct{}
+
+func (discardFile) Write(p []byte) (int, error) { return len(p), nil }
+func (discardFile) Close() error                { return nil }
+
+type discardEnv struct{ next uint64 }
+
+func (e *discardEnv) NewOutput() (uint64, io.WriteCloser, error) {
+	e.next++
+	return e.next, discardFile{}, nil
+}
+
+type sliceReaderAt []byte
+
+func (s sliceReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(s)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// buildCompactJob builds `runs` sorted in-memory runs of `entries` keys
+// each, interleaved across runs so the merge actually alternates.
+func buildCompactJob(runs, entries, keySize, valueSize int, ratio float64) (*compaction.Job, error) {
+	opts := sstable.Options{Compression: sstable.SnappyCompression}
+	job := &compaction.Job{
+		SmallestSnapshot: keys.MaxSeq,
+		BottomLevel:      true,
+		TableOpts:        opts,
+		MaxOutputBytes:   2 << 20,
+	}
+	values := workload.NewValueGen(valueSize, ratio, 42)
+	for r := 0; r < runs; r++ {
+		var buf bytes.Buffer
+		w := sstable.NewWriter(&buf, opts)
+		for i := 0; i < entries; i++ {
+			user := fmt.Sprintf("%0*d", keySize, i*runs+r)
+			ik := keys.MakeInternal(nil, []byte(user), uint64(r*10_000_000+i), keys.KindSet)
+			if err := w.Add(ik, values.Value()); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := w.Finish(); err != nil {
+			return nil, err
+		}
+		data := append([]byte(nil), buf.Bytes()...)
+		job.Runs = append(job.Runs, []compaction.Table{{
+			Num:  uint64(r + 1),
+			Size: int64(len(data)),
+			Data: sliceReaderAt(data),
+		}})
+	}
+	return job, nil
+}
+
+func timeCompact(cpu compaction.CPU, job *compaction.Job) (compactBenchSide, error) {
+	start := time.Now()
+	res, err := cpu.Compact(job, &discardEnv{})
+	if err != nil {
+		return compactBenchSide{}, err
+	}
+	wall := time.Since(start)
+	pl := res.Stats.Pipeline
+	return compactBenchSide{
+		WallNanos:          wall.Nanoseconds(),
+		OpsPerSec:          float64(res.Stats.PairsIn) / wall.Seconds(),
+		MBPerSec:           float64(job.InputBytes()) / 1e6 / wall.Seconds(),
+		PairsOut:           res.Stats.PairsOut,
+		Outputs:            len(res.Outputs),
+		Blocks:             pl.Blocks,
+		PrefetchStalls:     pl.PrefetchStalls,
+		PrefetchStallNanos: pl.PrefetchStallNanos,
+		EncodeStalls:       pl.EncodeStalls,
+		EncodeStallNanos:   pl.EncodeStallNanos,
+		SubmitStalls:       pl.SubmitStalls,
+		SubmitStallNanos:   pl.SubmitStallNanos,
+		SizeSyncs:          pl.SizeSyncs,
+	}, nil
+}
+
+// runCompactBench executes the mode and, with -json, writes the report.
+func runCompactBench(runs, entries, keySize, valueSize int, ratio float64, depth, encoders int, jsonPath string) error {
+	if runs < 2 {
+		return fmt.Errorf("-compact-runs must be >= 2, got %d", runs)
+	}
+	job, err := buildCompactJob(runs, entries, keySize, valueSize, ratio)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compact-bench: runs=%d entries/run=%d input=%.1f MB depth=%d encoders=%d\n",
+		runs, entries, float64(job.InputBytes())/1e6, depth, encoders)
+
+	// One warm-up each, then the timed pass, interleaved to share cache
+	// state fairly.
+	if _, err := timeCompact(compaction.CPU{}, job); err != nil {
+		return err
+	}
+	pipeCPU := compaction.CPU{Pipeline: compaction.PipelineConfig{Depth: depth, Encoders: encoders}}
+	if _, err := timeCompact(pipeCPU, job); err != nil {
+		return err
+	}
+	seq, err := timeCompact(compaction.CPU{}, job)
+	if err != nil {
+		return err
+	}
+	pipe, err := timeCompact(pipeCPU, job)
+	if err != nil {
+		return err
+	}
+
+	speedup := float64(seq.WallNanos) / float64(pipe.WallNanos)
+	fmt.Printf("sequential: %8.1f ms  %7.0f pairs/s  %6.2f MB/s  outputs=%d\n",
+		float64(seq.WallNanos)/1e6, seq.OpsPerSec, seq.MBPerSec, seq.Outputs)
+	fmt.Printf("pipelined:  %8.1f ms  %7.0f pairs/s  %6.2f MB/s  outputs=%d  (%.2fx)\n",
+		float64(pipe.WallNanos)/1e6, pipe.OpsPerSec, pipe.MBPerSec, pipe.Outputs, speedup)
+	fmt.Printf("stage stalls: prefetch=%d (%.1f ms) encode=%d (%.1f ms) submit=%d (%.1f ms) size-syncs=%d blocks=%d\n",
+		pipe.PrefetchStalls, float64(pipe.PrefetchStallNanos)/1e6,
+		pipe.EncodeStalls, float64(pipe.EncodeStallNanos)/1e6,
+		pipe.SubmitStalls, float64(pipe.SubmitStallNanos)/1e6,
+		pipe.SizeSyncs, pipe.Blocks)
+
+	if jsonPath != "" {
+		report := compactBenchReport{
+			Config: map[string]any{
+				"compact_runs":      runs,
+				"compact_entries":   entries,
+				"key_size":          keySize,
+				"value_size":        valueSize,
+				"compression_ratio": ratio,
+				"pipeline_depth":    depth,
+				"pipeline_encoders": encoders,
+			},
+			InputBytes: job.InputBytes(),
+			Sequential: seq,
+			Pipelined:  pipe,
+			Speedup:    speedup,
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("json report written to %s\n", jsonPath)
+	}
+	return nil
+}

@@ -10,7 +10,9 @@
 //	        [-engine_n 9] [-engine_v 8] [-compression_ratio 0.5]
 //	        [-compaction-workers 1] [-device-channels 1] [-fault-rate 0.0] [-fault-seed 1]
 //	        [-priority-lanes=true] [-arena-bytes 0]
+//	        [-pipeline-depth 0] [-pipeline-encoders 0]
 //	        [-trace out.jsonl] [-metrics] [-json out.json]
+//	dbbench -compact-bench [-compact-runs 2] [-compact-entries 100000] [-json out.json]
 //
 // -device-channels builds that many independent engine instances behind
 // the offload scheduler (backend=fcae only); -compaction-workers runs
@@ -25,6 +27,13 @@
 // metrics snapshot as JSON on stdout; -json writes a machine-readable
 // result blob (config, per-benchmark ops/s, store stats, dispatch
 // routing counters) to a file.
+//
+// -pipeline-depth enables the CPU lane's stage-parallel compaction data
+// path (read-ahead -> merge -> encode) with the given queue depth;
+// -pipeline-encoders sets its encoder worker count. -compact-bench
+// skips the store entirely and times one N-run compaction end-to-end,
+// sequential vs pipelined, reporting pairs/s, MB/s and per-stage stall
+// counters (see compactbench.go).
 package main
 
 import (
@@ -77,7 +86,24 @@ func main() {
 	tracePath := flag.String("trace", "", "write per-compaction JSONL trace records to this file")
 	metrics := flag.Bool("metrics", false, "dump the final metrics snapshot as JSON")
 	jsonPath := flag.String("json", "", "write a machine-readable result blob to this file")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "CPU compaction pipeline queue depth (0 = sequential reference path)")
+	pipelineEncoders := flag.Int("pipeline-encoders", 0, "CPU compaction pipeline encoder workers (0 = min(GOMAXPROCS, 4))")
+	compactBench := flag.Bool("compact-bench", false, "time one N-run compaction, sequential vs pipelined, then exit (no store)")
+	compactRuns := flag.Int("compact-runs", 2, "input runs for -compact-bench")
+	compactEntries := flag.Int("compact-entries", 100000, "entries per run for -compact-bench")
 	flag.Parse()
+
+	if *compactBench {
+		depth := *pipelineDepth
+		if depth <= 0 {
+			depth = 4
+		}
+		if err := runCompactBench(*compactRuns, *compactEntries, *keySize, *valueSize, *ratio,
+			depth, *pipelineEncoders, *jsonPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *dir == "" {
 		d, err := os.MkdirTemp("", "fcae-dbbench-")
@@ -92,7 +118,11 @@ func main() {
 	// merge compactors implies N+1 pool workers); everything else feeds
 	// the consolidated DispatchConfig.
 	opts := fcae.Options{CompactionWorkers: *workers}
-	opts.DispatchConfig.Tuning = fcae.DispatchTuning{DisablePriorityLanes: !*priorityLanes}
+	opts.DispatchConfig.Tuning = fcae.DispatchTuning{
+		DisablePriorityLanes: !*priorityLanes,
+		PipelineDepth:        *pipelineDepth,
+		PipelineEncoders:     *pipelineEncoders,
+	}
 	if *backend == "fcae" {
 		cfg := fcae.MultiInputEngineConfig()
 		cfg.N = *engineN

@@ -350,3 +350,14 @@ func MustNewEngineExecutor(cfg EngineConfig) CompactionExecutor {
 // CPUExecutor returns the software reference compactor (the paper's CPU
 // baseline). It is also the implicit default when Options.Executor is nil.
 func CPUExecutor() CompactionExecutor { return compaction.CPU{} }
+
+// PipelinedCPUExecutor returns the software compactor with its
+// stage-parallel data path enabled: per-run block read-ahead, the merge,
+// and a pool of encoder workers run concurrently with byte-identical
+// outputs. depth is the bounded queue depth per stage (<= 0 falls back
+// to the sequential path); encoders <= 0 selects min(GOMAXPROCS, 4).
+// Equivalent to setting DispatchTuning.PipelineDepth/PipelineEncoders
+// without an explicit Executor.
+func PipelinedCPUExecutor(depth, encoders int) CompactionExecutor {
+	return compaction.CPU{Pipeline: compaction.PipelineConfig{Depth: depth, Encoders: encoders}}
+}

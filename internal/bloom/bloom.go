@@ -85,8 +85,18 @@ func (f Filter) Append(dst []byte, keys [][]byte) []byte {
 }
 
 // MayContain reports whether key may be in the set encoded in filter.
-// False positives are possible; false negatives are not.
+// False positives are possible; false negatives are not. The probe count
+// is read from the filter's trailing byte, so the policy receiver carries
+// no state the query needs.
 func (f Filter) MayContain(filter, key []byte) bool {
+	return MayContain(filter, key)
+}
+
+// MayContain reports whether key may be in the set encoded in filter. The
+// encoding is self-describing (bit array plus trailing probe count), so
+// readers need no policy value — in particular not the bits-per-key the
+// filter was built with.
+func MayContain(filter, key []byte) bool {
 	if len(filter) < 2 {
 		return false
 	}

@@ -86,6 +86,46 @@ type Stats struct {
 	KernelTime time.Duration
 	// TransferTime is the modeled PCIe transfer time (FCAE only).
 	TransferTime time.Duration
+	// Pipeline carries the pipelined CPU path's per-stage stall and
+	// occupancy counters; zero when the job ran sequentially.
+	Pipeline PipelineStats
+}
+
+// PipelineStats counts per-stage stalls of the pipelined CPU data path,
+// the software analogues of the paper's pipeline-occupancy counters:
+// prefetch stalls mean the read-ahead stage is the bottleneck, encode
+// stalls the encoder workers, submit stalls the writer behind them.
+type PipelineStats struct {
+	// Blocks is the number of output data blocks pushed through the
+	// encode stage.
+	Blocks int64
+	// PrefetchStalls counts merge-side waits for a prefetched input
+	// block; PrefetchStallNanos is the summed wait.
+	PrefetchStalls     int64
+	PrefetchStallNanos int64
+	// EncodeStalls counts writer-side waits for an encoder to finish a
+	// block; EncodeStallNanos is the summed wait.
+	EncodeStalls     int64
+	EncodeStallNanos int64
+	// SubmitStalls counts merge-side waits for a free output-block slot;
+	// SubmitStallNanos is the summed wait.
+	SubmitStalls     int64
+	SubmitStallNanos int64
+	// SizeSyncs counts table-rotation decisions that had to drain
+	// in-flight encodes because the size bounds straddled the threshold.
+	SizeSyncs int64
+}
+
+// Add accumulates o into s (for aggregating job stats into DB totals).
+func (s *PipelineStats) Add(o PipelineStats) {
+	s.Blocks += o.Blocks
+	s.PrefetchStalls += o.PrefetchStalls
+	s.PrefetchStallNanos += o.PrefetchStallNanos
+	s.EncodeStalls += o.EncodeStalls
+	s.EncodeStallNanos += o.EncodeStallNanos
+	s.SubmitStalls += o.SubmitStalls
+	s.SubmitStallNanos += o.SubmitStallNanos
+	s.SizeSyncs += o.SizeSyncs
 }
 
 // Result is the outcome of a compaction.
@@ -277,8 +317,13 @@ func (d *dropPolicy) drop(ikey []byte) bool {
 
 // CPU is the software reference executor: a heap merge over run iterators
 // feeding an sstable writer, the paper's "CPU baseline" and the fallback
-// for jobs exceeding the engine's input limit.
-type CPU struct{}
+// for jobs exceeding the engine's input limit. With Pipeline.Depth > 0
+// the data path runs stage-parallel (read-ahead → merge → encode, see
+// pipelined.go) with byte-identical outputs; the zero value is the
+// sequential reference implementation.
+type CPU struct {
+	Pipeline PipelineConfig
+}
 
 // Name implements Executor.
 func (CPU) Name() string { return "cpu" }
@@ -287,7 +332,16 @@ func (CPU) Name() string { return "cpu" }
 func (CPU) MaxRuns() int { return 0 }
 
 // Compact implements Executor.
-func (CPU) Compact(job *Job, env Env) (*Result, error) {
+func (c CPU) Compact(job *Job, env Env) (*Result, error) {
+	if c.Pipeline.Depth > 0 {
+		return c.compactPipelined(job, env)
+	}
+	return c.compactSequential(job, env)
+}
+
+// compactSequential is the single-goroutine reference data path; the
+// pipelined path must produce byte-identical outputs.
+func (CPU) compactSequential(job *Job, env Env) (*Result, error) {
 	its := make([]iter.Iterator, 0, len(job.Runs))
 	for _, run := range job.Runs {
 		it, err := openRun(run, job.TableOpts)

@@ -115,6 +115,115 @@ func (r *R) wait() int { return <-r.done }
 	wantClean(t, checkFixture(t, lint.ChanFlow, map[string]string{"p.go": src}))
 }
 
+// The encode-pipeline ownership pattern (internal/sstable/pipeline.go):
+// a multi-queue worker pool with NO stop-style field — shutdown is
+// queue-close itself, granted to Close by directives, and workers drain
+// via range. Completion hand-off uses a buffered per-task token channel
+// (named ready, not a stop-style name) sent bare inside the worker loop:
+// legal precisely because the struct carries no stop field, which is the
+// contract this fixture pins.
+func TestChanFlowPipelineQueueOwnership(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+type task struct{ ready chan struct{} }
+
+type P struct {
+	encodeq chan *task
+	orderq  chan *task
+}
+
+func newP() *P {
+	p := &P{encodeq: make(chan *task, 4), orderq: make(chan *task, 4)}
+	go p.encoder()
+	go p.sequencer()
+	return p
+}
+
+func (p *P) encoder() {
+	for t := range p.encodeq {
+		t.ready <- struct{}{}
+	}
+}
+
+func (p *P) sequencer() {
+	for t := range p.orderq {
+		<-t.ready
+	}
+}
+
+func (p *P) submit(t *task) {
+	p.encodeq <- t
+	p.orderq <- t
+}
+
+// Close flushes and joins; queue-close is the designed shutdown.
+//
+//fcae:chan-owner p.P.encodeq
+//fcae:chan-owner p.P.orderq
+func (p *P) Close() {
+	close(p.encodeq)
+	close(p.orderq)
+}
+`
+	wantClean(t, checkFixture(t, lint.ChanFlow, map[string]string{"p.go": src}))
+}
+
+// The prefetch-producer pattern (internal/compaction/prefetch.go): a
+// stop-carrying struct whose producer loop sends items, recycled buffers
+// and an eof sentinel — every loop send a select case beside the stop
+// receive (or a default, for the capacity-guaranteed constructor
+// seeding). The sentinel replaces closing the data channel, so the only
+// close is the granted stop.
+func TestChanFlowSentinelProducerSelectSends(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+type item struct{ eof bool }
+
+type F struct {
+	blocks chan item
+	free   chan int
+	stop   chan struct{}
+}
+
+func newF() *F {
+	f := &F{blocks: make(chan item, 2), free: make(chan int, 4), stop: make(chan struct{})}
+	for i := 0; i < 4; i++ {
+		select {
+		case f.free <- i:
+		default:
+		}
+	}
+	go f.fill()
+	return f
+}
+
+func (f *F) fill() {
+	for {
+		var buf int
+		select {
+		case buf = <-f.free:
+		case <-f.stop:
+			return
+		}
+		_ = buf
+		select {
+		case f.blocks <- item{}:
+		case <-f.stop:
+			return
+		}
+	}
+}
+
+func (f *F) next() item { return <-f.blocks }
+
+//fcae:chan-owner p.F.stop
+func (f *F) Close() { close(f.stop) }
+`
+	wantClean(t, checkFixture(t, lint.ChanFlow, map[string]string{"p.go": src}))
+}
+
 func TestChanFlowDirectionSuggestionSkipsEscapes(t *testing.T) {
 	t.Parallel()
 	src := `package p

@@ -184,7 +184,7 @@ func (a *Assembler) AddRawBlock(lastKey []byte, ctype byte, payload []byte, entr
 		a.w.err = err
 		return err
 	}
-	a.w.pending = h
+	a.w.handles = append(a.w.handles, h)
 	a.w.pendingKey = append(a.w.pendingKey[:0], lastKey...)
 	a.w.hasPending = true
 	a.w.stats.DataBlocks++
@@ -229,14 +229,14 @@ func (a *Assembler) Finish() (WriterStats, error) {
 
 func bloomFor(bits int) bloom.Filter { return bloom.New(bits) }
 
-// flushPendingIndexRaw emits the pending index entry using the stored last
+// flushPendingIndexRaw records the pending separator using the stored last
 // key verbatim (no separator shortening; the engine already supplies
-// minimal keys).
+// minimal keys). The entry is emitted by finishTail.
 func (w *Writer) flushPendingIndexRaw() {
 	if !w.hasPending {
 		return
 	}
-	w.index.add(w.pendingKey, w.pending.EncodeTo(nil))
+	w.recordSep(w.pendingKey)
 	w.hasPending = false
 }
 

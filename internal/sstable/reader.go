@@ -20,7 +20,6 @@ type Reader struct {
 	opts    Options
 	index   *block
 	filter  []byte
-	bloomFn bloom.Filter
 	cache   *cache.Cache
 	cacheID uint64
 }
@@ -78,7 +77,6 @@ func (r *Reader) loadFilter(metaH Handle) error {
 				return err
 			}
 			r.filter = fb
-			r.bloomFn = bloom.New(10)
 			return nil
 		}
 	}
@@ -124,12 +122,14 @@ func (r *Reader) readBlockContents(h Handle) ([]byte, error) {
 }
 
 // MayContain consults the table bloom filter for a user key. It returns
-// true when no filter is present.
+// true when no filter is present. The stored filter is self-describing
+// (probe count in its trailing byte), so no policy — and in particular no
+// bits-per-key guess — is needed at read time.
 func (r *Reader) MayContain(userKey []byte) bool {
 	if r.filter == nil {
 		return true
 	}
-	return r.bloomFn.MayContain(r.filter, userKey)
+	return bloom.MayContain(r.filter, userKey)
 }
 
 // Get returns the value for the newest entry of userKey visible at seq.
